@@ -1,0 +1,95 @@
+// Theorems 4 and 8: graceful degradation — remote references as a function
+// of contention c, for the nested-fast-path algorithm vs. the sudden-step
+// Theorem 3/7 algorithm.  This regenerates the paper's qualitative series:
+// Theorem 3 performance jumps when contention first exceeds k, Theorem 4
+// grows ~linearly in ceil(c/k), and both beat the baselines everywhere.
+#include <iostream>
+
+#include "baselines/atomic_queue_kex.h"
+#include "kex/algorithms.h"
+#include "runtime/bounds.h"
+#include "runtime/rmr_meter.h"
+#include "runtime/rmr_report.h"
+
+namespace {
+
+using kex::cost_model;
+using kex::measure_rmr;
+using sim = kex::sim_platform;
+
+constexpr int N = 16;
+constexpr int K = 2;
+constexpr int ITERS = 50;
+constexpr int CONTENTION[] = {1, 2, 3, 4, 6, 8, 12, 16};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Theorems 4/8: graceful degradation with contention ===\n"
+            << "N=" << N << " k=" << K
+            << "; mean (max) remote refs per acquisition at contention c\n\n";
+
+  {
+    std::cout << "-- cache-coherent (Theorem 4 vs Theorem 3)\n";
+    kex::table t({"c", "Thm4 nested mean (max)", "bound ceil(c/k)(7k+2)",
+                  "Thm3 fast+tree mean (max)", "ticket mean (max)"});
+    for (int c : CONTENTION) {
+      kex::cc_graceful<sim> g(N, K);
+      auto rg = measure_rmr(g, c, ITERS, cost_model::cc);
+      kex::cc_fast<sim> f(N, K);
+      auto rf = measure_rmr(f, c, ITERS, cost_model::cc);
+      kex::baselines::ticket_kex<sim> tk(N, K);
+      auto rt = measure_rmr(tk, c, ITERS, cost_model::cc);
+      t.add_row({std::to_string(c),
+                 kex::fmt_fixed(rg.mean_pair, 1) + " (" +
+                     kex::fmt_u64(rg.max_pair) + ")",
+                 std::to_string(kex::bounds::thm4_cc_graceful(c, K)),
+                 kex::fmt_fixed(rf.mean_pair, 1) + " (" +
+                     kex::fmt_u64(rf.max_pair) + ")",
+                 kex::fmt_fixed(rt.mean_pair, 1) + " (" +
+                     kex::fmt_u64(rt.max_pair) + ")"});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n-- distributed shared memory (Theorem 8 vs Theorem 7)\n";
+    kex::table t({"c", "Thm8 nested mean (max)", "bound ceil(c/k)(14k+2)",
+                  "Thm7 fast+tree mean (max)"});
+    for (int c : CONTENTION) {
+      kex::dsm_graceful<sim> g(N, K);
+      auto rg = measure_rmr(g, c, ITERS, cost_model::dsm);
+      kex::dsm_fast<sim> f(N, K);
+      auto rf = measure_rmr(f, c, ITERS, cost_model::dsm);
+      t.add_row({std::to_string(c),
+                 kex::fmt_fixed(rg.mean_pair, 1) + " (" +
+                     kex::fmt_u64(rg.max_pair) + ")",
+                 std::to_string(kex::bounds::thm8_dsm_graceful(c, K)),
+                 kex::fmt_fixed(rf.mean_pair, 1) + " (" +
+                     kex::fmt_u64(rf.max_pair) + ")"});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n-- fast-path hit rate vs contention (Theorem 3 "
+                 "instance)\n";
+    kex::table t({"c", "fast hits", "slow hits", "hit rate"});
+    for (int c : CONTENTION) {
+      kex::cc_fast<sim> f(N, K);
+      (void)measure_rmr(f, c, ITERS, cost_model::cc);
+      t.add_row({std::to_string(c), kex::fmt_u64(f.fast_hits()),
+                 kex::fmt_u64(f.slow_hits()),
+                 kex::fmt_fixed(f.fast_hit_rate(), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "At c<=k the hit rate is 1.000 (nobody ever takes the "
+                 "slow path) — the mechanism behind Theorem 3's bound.\n";
+  }
+
+  std::cout << "\nExpected shape: the nested column grows smoothly with "
+               "ceil(c/k); the Thm3/Thm7 column is flat until c>k then "
+               "steps up to its tree cost; the ticket baseline keeps "
+               "growing with c.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Resilient-object costs: remote references per operation for each object
+// in the family, as the resiliency knob k varies — the paper's central
+// engineering claim made concrete: "resiliency can be tuned according to
+// performance demands" (Section 5).  A wait-free (N-1)-resilient object
+// pays for worst-case contention; the k-assignment wrapper prices
+// resilience at the *expected* contention instead.
+#include <iostream>
+
+#include "resilient/more_objects.h"
+#include "resilient/resilient.h"
+#include "runtime/process_group.h"
+#include "runtime/rmr_report.h"
+
+namespace {
+
+using sim = kex::sim_platform;
+using kex::cost_model;
+
+constexpr int N = 12;
+constexpr int OPS = 40;
+
+// Measure max remote refs per operation with `c` active processes.
+template <class Obj, class Op>
+std::uint64_t measure_op(Obj& obj, int c, Op op) {
+  kex::process_set<sim> procs(N, cost_model::cc);
+  std::atomic<std::uint64_t> worst{0};
+  kex::run_workers<sim>(procs, kex::first_pids(c), [&](sim::proc& p) {
+    std::uint64_t w = 0;
+    for (int i = 0; i < OPS; ++i) {
+      auto before = p.counters().remote;
+      op(obj, p);
+      auto pair = p.counters().remote - before;
+      if (pair > w) w = pair;
+    }
+    std::uint64_t cur = worst.load();
+    while (w > cur && !worst.compare_exchange_weak(cur, w)) {
+    }
+  });
+  return worst.load();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Resilient objects: max remote refs per operation ===\n"
+            << "N=" << N << " processes; operation measured at contention "
+            << "c = k (the 'effectively wait-free' regime) and c = N\n\n";
+
+  kex::table t({"object / op", "k", "resilience", "RMR @ c=k",
+                "RMR @ c=N"});
+
+  for (int k : {1, 2, 4}) {
+    {
+      kex::resilient_counter<sim> obj(N, k);
+      auto low = measure_op(obj, k, [](auto& o, sim::proc& p) {
+        o.add(p, 1);
+      });
+      kex::resilient_counter<sim> obj2(N, k);
+      auto high = measure_op(obj2, N, [](auto& o, sim::proc& p) {
+        o.add(p, 1);
+      });
+      t.add_row({"counter.add", std::to_string(k),
+                 std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
+                 kex::fmt_u64(high)});
+    }
+    {
+      kex::resilient_queue<sim> obj(N, k);
+      auto low = measure_op(obj, k, [](auto& o, sim::proc& p) {
+        o.enqueue(p, 1);
+        (void)o.dequeue(p);
+      });
+      kex::resilient_queue<sim> obj2(N, k);
+      auto high = measure_op(obj2, N, [](auto& o, sim::proc& p) {
+        o.enqueue(p, 1);
+        (void)o.dequeue(p);
+      });
+      t.add_row({"queue.enq+deq", std::to_string(k),
+                 std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
+                 kex::fmt_u64(high)});
+    }
+    {
+      kex::resilient_kv<sim> obj(N, k);
+      auto low = measure_op(obj, k, [](auto& o, sim::proc& p) {
+        o.put(p, p.id, 1);
+      });
+      kex::resilient_kv<sim> obj2(N, k);
+      auto high = measure_op(obj2, N, [](auto& o, sim::proc& p) {
+        o.put(p, p.id, 1);
+      });
+      t.add_row({"kv.put", std::to_string(k),
+                 std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
+                 kex::fmt_u64(high)});
+    }
+    {
+      kex::resilient_snapshot<sim> obj(N, k);
+      auto low = measure_op(obj, k, [](auto& o, sim::proc& p) {
+        (void)o.publish_and_scan(p, 1);
+      });
+      kex::resilient_snapshot<sim> obj2(N, k);
+      auto high = measure_op(obj2, N, [](auto& o, sim::proc& p) {
+        (void)o.publish_and_scan(p, 1);
+      });
+      t.add_row({"snapshot.pub+scan", std::to_string(k),
+                 std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
+                 kex::fmt_u64(high)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading the table: RMR at c=k grows with k (the price of "
+               "more resilience: a wider wrapper and a wider wait-free "
+               "core) — the tunable-resiliency trade-off.  At c=N the "
+               "wrapper's tree slow path bounds the damage.\n"
+            << "Universal-construction ops (queue/kv) also pay helping "
+               "costs that grow with concurrent sessions.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The resiliency methodology under fire (paper, Section 1): operation
+// completion of a (k-1)-resilient shared counter while 0..k-1 processes
+// crash mid-protocol, and — for contrast — what the same failures do to a
+// semaphore-style (non-resilient) implementation, which would simply
+// wedge (shown via a bounded probe instead of a hang).
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "baselines/atomic_queue_kex.h"
+#include "resilient/resilient.h"
+#include "runtime/process_group.h"
+#include "runtime/rmr_report.h"
+
+namespace {
+
+using sim = kex::sim_platform;
+using kex::cost_model;
+
+constexpr int N = 8;
+constexpr int K = 4;
+constexpr int OPS = 60;
+
+// Run the resilient counter with `failures` processes crashing inside
+// their first wrapper session; return completed survivor operations.
+long run_with_failures(int failures) {
+  kex::resilient_counter<sim> counter(N, K);
+  kex::process_set<sim> procs(N, cost_model::cc);
+  std::atomic<long> ok_ops{0};
+  auto result = kex::run_workers<sim>(
+      procs, kex::all_pids(N), [&](sim::proc& p) {
+        if (p.id < failures) {
+          p.fail_after(4);  // dies inside the first operation
+          counter.add(p, 1);
+          return;
+        }
+        for (int i = 0; i < OPS; ++i) {
+          counter.add(p, 1);
+          ok_ops.fetch_add(1);
+        }
+      });
+  if (result.crashed != failures) return -1;
+  if (result.completed != N - failures) return -2;
+  return ok_ops.load();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== (k-1)-resilient shared counter under crash injection ==="
+            << "\nN=" << N << " processes, k=" << K << " (tolerates "
+            << K - 1 << " failures), " << OPS
+            << " increments per surviving process\n\n";
+
+  kex::table t({"injected failures", "surviving procs", "ops completed",
+                "expected", "ok"});
+  for (int f = 0; f <= K - 1; ++f) {
+    long ops = run_with_failures(f);
+    long expect = static_cast<long>(N - f) * OPS;
+    t.add_row({std::to_string(f), std::to_string(N - f),
+               std::to_string(ops), std::to_string(expect),
+               ops == expect ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEvery survivor completed every operation with up to k-1 "
+               "crashes anywhere in the entry/CS/exit protocol — the "
+               "paper's '(k-1)-resilient, effectively wait-free when "
+               "contention <= k' claim.\n\n";
+
+  // Contrast: a FIFO ticket 'pool' wedges behind one crashed holder.
+  std::cout << "--- non-resilient contrast (FIFO ticket, k=1) ---\n";
+  kex::baselines::ticket_kex<sim> tk(3, 1);
+  kex::process_set<sim> procs(3, cost_model::cc);
+  kex::run_workers<sim>(procs, {0}, [&](sim::proc& p) {
+    tk.acquire(p);
+    p.fail();        // crash while holding the only slot
+    tk.release(p);   // throws process_failed: the slot is never returned
+  });
+  std::atomic<bool> stop{false}, entered{false};
+  std::thread probe([&] {
+    if (tk.acquire_with_abort(procs[1], [&] { return stop.load(); }))
+      entered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  stop.store(true);
+  probe.join();
+  std::cout << "after one crash inside the CS, a second process "
+            << (entered.load() ? "ENTERED (unexpected!)"
+                               : "was still blocked after 80 ms (expected: "
+                                 "it would wait forever)")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scaling shape: remote references per acquisition as N grows at fixed k —
+// the asymptotic claims of Table 1 rendered as series.
+//
+//   - Thm 1 inductive chain:   linear in N      (its stated drawback)
+//   - Thm 2 tree:              logarithmic in N
+//   - Thm 3 fast path, c<=k:   flat (independent of N) — the headline
+//   - baseline bakery solo:    linear in N
+//   - baseline bit bakery solo: quadratic in N
+//
+// The Thm1-vs-Thm2 crossover (the reason the paper builds trees from
+// (2k,k) blocks) is visible where the chain column first exceeds the tree
+// column.
+#include <iostream>
+
+#include "baselines/bakery_kex.h"
+#include "baselines/scan_kex.h"
+#include "kex/algorithms.h"
+#include "runtime/bounds.h"
+#include "runtime/rmr_meter.h"
+#include "runtime/rmr_report.h"
+
+namespace {
+
+using kex::cost_model;
+using kex::measure_rmr;
+using sim = kex::sim_platform;
+
+constexpr int K = 2;
+constexpr int ITERS = 40;
+constexpr int NS[] = {4, 8, 16, 32, 48, 64};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Scaling with N at fixed k=" << K << " ===\n"
+            << "max remote refs per acquisition; contended columns at c=N, "
+            << "fast path also at c<=k; baselines solo (their w/o-"
+            << "contention complexity)\n\n";
+
+  kex::table t({"N", "Thm1 chain c=N", "Thm2 tree c=N", "Thm3 fast c<=k",
+                "Thm3 fast c=N", "bakery solo", "bit-bakery solo"});
+  for (int n : NS) {
+    std::uint64_t chain, tree, fast_low, fast_high, bak, bits;
+    {
+      kex::cc_inductive<sim> a(n, K);
+      chain = measure_rmr(a, n, ITERS, cost_model::cc).max_pair;
+    }
+    {
+      kex::cc_tree<sim> a(n, K);
+      tree = measure_rmr(a, n, ITERS, cost_model::cc).max_pair;
+    }
+    {
+      kex::cc_fast<sim> a(n, K);
+      fast_low = measure_rmr(a, K, ITERS, cost_model::cc).max_pair;
+    }
+    {
+      kex::cc_fast<sim> a(n, K);
+      fast_high = measure_rmr(a, n, ITERS, cost_model::cc).max_pair;
+    }
+    {
+      kex::baselines::bakery_kex<sim> a(n, K);
+      bak = measure_rmr(a, 1, ITERS, cost_model::dsm).max_pair;
+    }
+    {
+      kex::baselines::scan_kex<sim> a(n, K);
+      bits = measure_rmr(a, 1, ITERS, cost_model::dsm).max_pair;
+    }
+    t.add_row({std::to_string(n), kex::fmt_u64(chain), kex::fmt_u64(tree),
+               kex::fmt_u64(fast_low), kex::fmt_u64(fast_high),
+               kex::fmt_u64(bak), kex::fmt_u64(bits)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected: chain ~ 6N, tree ~ 6k*log2(N/k), fast@c<=k "
+               "constant, bakery ~ 3N, bit-bakery ~ N^2 (with a floor from "
+               "its fixed minimum register width).\n";
+  return 0;
+}

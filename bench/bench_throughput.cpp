@@ -1,0 +1,111 @@
+// Wall-clock throughput on real hardware (google-benchmark): acquisitions
+// per second for each k-exclusion algorithm on bare cache-line-aligned
+// std::atomic, against std::mutex and std::counting_semaphore.
+//
+// This is a sanity complement to the RMR benches, not a 1994-testbed
+// replica: absolute numbers are machine-dependent (and this CI container
+// may have a single hardware thread), but the relative ordering at k ~
+// contention — fast path ahead of chain/tree, everything ahead of the
+// kernel-blocking primitives under churn — is the shape the paper's
+// methodology predicts.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "baselines/atomic_queue_kex.h"
+#include "baselines/bakery_kex.h"
+#include "baselines/os_primitives.h"
+#include "kex/algorithms.h"
+#include "renaming/k_assignment.h"
+#include "resilient/resilient.h"
+
+namespace {
+
+using real = kex::real_platform;
+
+// One proc context per benchmark thread, stable across iterations.
+template <class Alg>
+void cycle(benchmark::State& state, Alg& alg) {
+  real::proc p{static_cast<int>(state.thread_index())};
+  for (auto _ : state) {
+    alg.acquire(p);
+    benchmark::DoNotOptimize(p.id);
+    alg.release(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+constexpr int N = 8;  // benchmark threads per contended case
+constexpr int K = 2;
+
+template <class Alg>
+void bench_alg(benchmark::State& state) {
+  // Function-local static: initialized thread-safely by whichever
+  // benchmark thread arrives first, shared across all thread counts of
+  // this template instantiation (the algorithms are long-lived objects).
+  static Alg instance(N, K);
+  cycle(state, instance);
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bench_alg, kex::cc_inductive<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::cc_tree<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::cc_fast<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::cc_graceful<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::dsm_bounded<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::dsm_fast<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::baselines::ticket_kex<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::baselines::bakery_kex<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::baselines::semaphore_kex<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+
+// k-assignment end to end (Theorem 9 configuration).
+static void bench_assignment(benchmark::State& state) {
+  static kex::cc_assignment<real> asg(N, K);
+  real::proc p{static_cast<int>(state.thread_index())};
+  for (auto _ : state) {
+    int name = asg.acquire(p);
+    benchmark::DoNotOptimize(name);
+    asg.release(p, name);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_assignment)->Threads(1)->Threads(K)->Threads(N);
+
+// Resilient counter operation cost (wrapper + wait-free core).
+static void bench_resilient_counter(benchmark::State& state) {
+  static kex::resilient_counter<real> obj(N, K);
+  real::proc p{static_cast<int>(state.thread_index())};
+  for (auto _ : state) obj.add(p, 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_resilient_counter)->Threads(1)->Threads(K)->Threads(N);
+
+BENCHMARK_MAIN();

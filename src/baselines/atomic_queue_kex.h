@@ -1,0 +1,151 @@
+// Figure 1: the idealized queue-based (N,k)-exclusion — and the stand-in
+// for Table 1's rows [9] and [10] (Fischer/Lynch/Burns/Borodin), whose
+// algorithms assume large multi-variable atomic sections.
+//
+//     1: ⟨ if fetch_and_increment(X,-1) <= 0 then Enqueue(p, Q) ⟩
+//     2: while Element(p, Q) do /* spin */
+//        Critical Section
+//     3: ⟨ Dequeue(Q); fetch_and_increment(X, 1) ⟩
+//
+// The paper presents this to motivate its own algorithms: (a) the
+// angle-bracketed statements atomically touch several variables — an
+// unrealistic primitive, which we simulate with an internal mutex (the
+// mutex stands for the magic atomicity and is deliberately *not* charged
+// any remote references — generosity that still loses Table 1); (b) the
+// busy-wait at statement 2 re-reads shared queue state that every
+// enqueue/dequeue invalidates, so remote references per acquisition grow
+// without bound under contention ("∞" in Table 1); and (c) the queue's
+// linear order means a process that fails while enqueued blocks everyone
+// behind it — no resilience.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex::baselines {
+
+template <Platform P>
+class atomic_queue_kex {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  atomic_queue_kex(int n, int k, int pid_space = -1)
+      : n_(n), k_(k), x_(k), head_(0), tail_(0) {
+    if (pid_space < 0) pid_space = n;
+    KEX_CHECK_MSG(k >= 1 && n > k, "atomic_queue_kex requires 1 <= k < n");
+    ring_ = std::vector<padded<var<int>>>(
+        static_cast<std::size_t>(pid_space) + 1);
+    ring_size_ = pid_space + 1;
+  }
+
+  void acquire(proc& p) {
+    {
+      // ⟨ statement 1 ⟩ — the simulated large atomic section.
+      std::scoped_lock lk(big_atomic_);
+      if (x_.value.fetch_add(p, -1) <= 0) enqueue(p);
+    }
+    while (element(p)) p.spin();  // statement 2: non-local busy-wait
+  }
+
+  void release(proc& p) {
+    // ⟨ statement 3 ⟩
+    std::scoped_lock lk(big_atomic_);
+    dequeue(p);
+    x_.value.fetch_add(p, 1);
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+
+ private:
+  // Queue of process ids as a circular buffer of shared variables, so all
+  // traffic is visible to the platform's RMR accounting.
+  void enqueue(proc& p) {
+    long t = tail_.value.read(p);
+    ring_[slot(t)].value.write(p, p.id);
+    tail_.value.write(p, t + 1);
+  }
+
+  void dequeue(proc& p) {
+    long h = head_.value.read(p);
+    long t = tail_.value.read(p);
+    if (h < t) head_.value.write(p, h + 1);
+  }
+
+  bool element(proc& p) {
+    long h = head_.value.read(p);
+    long t = tail_.value.read(p);
+    for (long i = h; i < t; ++i)
+      if (ring_[slot(i)].value.read(p) == p.id) return true;
+    return false;
+  }
+
+  std::size_t slot(long i) const {
+    return static_cast<std::size_t>(i % ring_size_);
+  }
+
+  int n_, k_;
+  long ring_size_ = 0;
+  std::mutex big_atomic_;  // the paper's ⟨…⟩ — not a real primitive
+  padded<var<int>> x_;     // slot counter, range (k-N)..k
+  padded<var<long>> head_, tail_;
+  std::vector<padded<var<int>>> ring_;
+};
+
+// A leaner member of the same family: FIFO ticket k-exclusion.  Uses only
+// fetch-and-increment (no magic atomic sections), but shares rows
+// [9]/[10]'s defining weaknesses: every waiter spins on one global counter
+// that every release invalidates (unbounded RMRs under contention), and a
+// failed critical-section holder eventually blocks all later tickets (no
+// resilience).  O(1) remote references without contention.
+template <Platform P>
+class ticket_kex {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  ticket_kex(int n, int k, int pid_space = -1)
+      : n_(n), k_(k), next_(0), completed_(0) {
+    (void)pid_space;
+    KEX_CHECK_MSG(k >= 1 && n > k, "ticket_kex requires 1 <= k < n");
+  }
+
+  void acquire(proc& p) {
+    long t = next_.value.fetch_add(p, 1);
+    while (t - completed_.value.read(p) >= k_) p.spin();
+  }
+
+  // Entry section with an abort predicate; returns false if aborted while
+  // waiting.  Used by tests to demonstrate (boundedly) that a waiter
+  // behind a crashed holder never gets in — the fragility the paper's
+  // algorithms eliminate.  An aborted ticket is leaked, wedging the
+  // instance further; callers must discard it afterwards.
+  template <class Abort>
+  bool acquire_with_abort(proc& p, Abort abort) {
+    long t = next_.value.fetch_add(p, 1);
+    while (t - completed_.value.read(p) >= k_) {
+      if (abort()) return false;
+      p.spin();
+    }
+    return true;
+  }
+
+  void release(proc& p) { completed_.value.fetch_add(p, 1); }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+
+ private:
+  int n_, k_;
+  padded<var<long>> next_;       // next ticket to hand out
+  padded<var<long>> completed_;  // number of completed critical sections
+};
+
+}  // namespace kex::baselines

@@ -1,0 +1,82 @@
+// The MCS queue lock (Mellor-Crummey & Scott, reference [12] of the
+// paper) — the classic local-spin *mutual exclusion* algorithm.
+//
+// The paper's concluding remarks set the bar: "we would like for such
+// [k-exclusion] algorithms to have performance that approaches that of the
+// fastest spin-lock algorithms [2,11,12,14] when k approaches 1."  This
+// implementation exists to measure exactly that gap (bench_spinlock_k1):
+// our k=1 instances vs. MCS.
+//
+// Each process owns a queue node and spins only on its own `locked` flag
+// (local under both cost models — the node is owner-assigned), so MCS is
+// O(1) RMR per acquisition on cache-coherent machines.  It is *not*
+// resilient: a crashed holder (or even a crashed waiter) wedges the queue
+// — the very trade-off the paper's k-exclusion algorithms remove.
+#pragma once
+
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex::baselines {
+
+template <Platform P>
+class mcs_lock {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+  struct qnode {
+    var<int> locked{0};
+    var<qnode*> next{nullptr};
+  };
+
+ public:
+  mcs_lock(int n, int k = 1, int pid_space = -1) : n_(n) {
+    if (pid_space < 0) pid_space = n;
+    KEX_CHECK_MSG(k == 1, "mcs_lock is k = 1 only");
+    nodes_ = std::vector<padded<qnode>>(static_cast<std::size_t>(pid_space));
+    for (int pid = 0; pid < pid_space; ++pid) {
+      nodes_[static_cast<std::size_t>(pid)].value.locked.set_owner(pid);
+      nodes_[static_cast<std::size_t>(pid)].value.next.set_owner(pid);
+    }
+  }
+
+  void acquire(proc& p) {
+    qnode& mine = node(p);
+    mine.next.write(p, nullptr);
+    qnode* pred = tail_.value.exchange(p, &mine);
+    if (pred != nullptr) {
+      mine.locked.write(p, 1);
+      pred->next.write(p, &mine);
+      while (mine.locked.read(p) != 0) p.spin();  // local spin
+    }
+  }
+
+  void release(proc& p) {
+    qnode& mine = node(p);
+    qnode* successor = mine.next.read(p);
+    if (successor == nullptr) {
+      if (tail_.value.compare_exchange(p, &mine, nullptr)) return;
+      // Someone is mid-enqueue: wait for the link to appear.
+      while ((successor = mine.next.read(p)) == nullptr) p.spin();
+    }
+    successor->locked.write(p, 0);
+  }
+
+  int n() const { return n_; }
+  int k() const { return 1; }
+
+ private:
+  qnode& node(proc& p) {
+    return nodes_[static_cast<std::size_t>(p.id)].value;
+  }
+
+  int n_;
+  padded<var<qnode*>> tail_{nullptr};
+  std::vector<padded<qnode>> nodes_;
+};
+
+}  // namespace kex::baselines

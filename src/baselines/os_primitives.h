@@ -1,0 +1,64 @@
+// OS/runtime synchronization primitives wrapped in the k-exclusion
+// interface, for wall-clock comparison only.
+//
+// These do not route their traffic through platform variables, so they
+// contribute nothing to RMR accounting (and appear only in the throughput
+// benchmarks), and they block in the kernel rather than spin — the
+// practical alternative the paper's introduction positions k-exclusion
+// against.  Neither tolerates failures: a crashed holder never releases.
+#pragma once
+
+#include <mutex>
+#include <semaphore>
+
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex::baselines {
+
+template <Platform P>
+class semaphore_kex {
+  using proc = typename P::proc;
+
+ public:
+  static constexpr int max_k = 1 << 16;
+
+  semaphore_kex(int n, int k, int pid_space = -1) : n_(n), k_(k), sem_(k) {
+    (void)pid_space;
+    KEX_CHECK_MSG(k >= 1 && k <= max_k && n > k,
+                  "semaphore_kex requires 1 <= k < n");
+  }
+
+  void acquire(proc&) { sem_.acquire(); }
+  void release(proc&) { sem_.release(); }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+
+ private:
+  int n_, k_;
+  std::counting_semaphore<max_k> sem_;
+};
+
+template <Platform P>
+class mutex_kex {
+  using proc = typename P::proc;
+
+ public:
+  mutex_kex(int n, int k = 1, int pid_space = -1) : n_(n) {
+    (void)pid_space;
+    KEX_CHECK_MSG(k == 1, "mutex_kex is k = 1 only");
+  }
+
+  void acquire(proc&) { m_.lock(); }
+  void release(proc&) { m_.unlock(); }
+
+  int n() const { return n_; }
+  int k() const { return 1; }
+
+ private:
+  int n_;
+  std::mutex m_;
+};
+
+}  // namespace kex::baselines

@@ -1,0 +1,142 @@
+// k-exclusion from single-bit registers — the stand-in for Table 1's row
+// [8] (Dolev/Gafni/Shavit, "Toward a Non-atomic Era: l-exclusion as a Test
+// Case"): Θ(N²) remote references per uncontended acquisition, unbounded
+// under contention.
+//
+// Row [8]'s algorithm is built from safe bits; its defining cost is that
+// every multi-valued register a process consults must itself be assembled
+// from Θ(N) bits.  We reproduce that structure honestly: bakery_kex's
+// labels are stored in `bit_register`s — multi-bit values written bit by
+// bit and read with a double-collect sequence validation (the classic
+// construction of an atomic multi-valued register from small units).  Each
+// register read/write then costs Θ(B) bit accesses with B = Θ(N) bits, and
+// the bakery doorway reads N registers, giving the Θ(N²) uncontended
+// acquisition cost of the row it stands in for.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex::baselines {
+
+// A B-bit single-writer multi-reader register assembled from one-bit
+// shared variables, with a sequence-validated double-collect read.
+// The writer brackets its bit writes with sequence bumps; a reader retries
+// until it sees the same even sequence before and after its collect.
+template <Platform P>
+class bit_register {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  explicit bit_register(int bits) : bits_(bits), seq_(0) {
+    KEX_CHECK_MSG(bits >= 1 && bits <= 62, "bit_register: bad width");
+    cells_ = std::vector<var<int>>(static_cast<std::size_t>(bits));
+  }
+
+  // Only the owning process may write.
+  void write(proc& p, long v) {
+    seq_.value.fetch_add(p, 1);  // odd: write in progress
+    for (int b = 0; b < bits_; ++b)
+      cells_[static_cast<std::size_t>(b)].write(
+          p, static_cast<int>((v >> b) & 1));
+    seq_.value.fetch_add(p, 1);  // even: stable
+  }
+
+  long read(proc& p) {
+    for (;;) {
+      long s1 = seq_.value.read(p);
+      if (s1 % 2 != 0) {
+        p.spin();
+        continue;
+      }
+      long v = 0;
+      for (int b = 0; b < bits_; ++b)
+        v |= static_cast<long>(
+                 cells_[static_cast<std::size_t>(b)].read(p))
+             << b;
+      long s2 = seq_.value.read(p);
+      if (s1 == s2) return v;
+    }
+  }
+
+ private:
+  int bits_;
+  padded<var<long>> seq_;
+  std::vector<var<int>> cells_;
+};
+
+template <Platform P>
+class scan_kex {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  scan_kex(int n, int k, int pid_space = -1) : n_(n), k_(k) {
+    if (pid_space < 0) pid_space = n;
+    KEX_CHECK_MSG(k >= 1 && n > k, "scan_kex requires 1 <= k < n");
+    pids_ = pid_space;
+    // Θ(N) bits per label register: wide enough that labels (bounded by
+    // the number of acquisitions) never overflow in practice, and wide
+    // enough to reproduce the Θ(N²) access pattern.  Clamped to [48, 62]:
+    // the floor gives arithmetic headroom on long runs, the ceiling keeps
+    // values in a signed 64-bit long (beyond 62 processes the register
+    // width — and hence the demonstrated cost — saturates).
+    bits_ = pid_space < 48 ? 48 : (pid_space > 62 ? 62 : pid_space);
+    choosing_ =
+        std::vector<padded<var<int>>>(static_cast<std::size_t>(pid_space));
+    for (int q = 0; q < pid_space; ++q) number_.emplace_back(bits_);
+  }
+
+  void acquire(proc& p) {
+    auto me = static_cast<std::size_t>(p.id);
+    choosing_[me].value.write(p, 1);
+    long max = 0;
+    for (int q = 0; q < pids_; ++q) {
+      long v = number_[static_cast<std::size_t>(q)].read(p);
+      if (v > max) max = v;
+    }
+    number_[me].write(p, max + 1);
+    choosing_[me].value.write(p, 0);
+
+    for (int q = 0; q < pids_; ++q) {
+      if (q == p.id) continue;
+      while (choosing_[static_cast<std::size_t>(q)].value.read(p) != 0)
+        p.spin();
+    }
+
+    const long mine = max + 1;
+    for (;;) {
+      int smaller = 0;
+      for (int q = 0; q < pids_; ++q) {
+        if (q == p.id) continue;
+        long v = number_[static_cast<std::size_t>(q)].read(p);
+        if (v != 0 && (v < mine || (v == mine && q < p.id))) ++smaller;
+      }
+      if (smaller < k_) return;
+      p.spin();
+    }
+  }
+
+  void release(proc& p) {
+    number_[static_cast<std::size_t>(p.id)].write(p, 0);
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+
+ private:
+  int n_, k_;
+  int pids_ = 0;
+  int bits_ = 0;
+  std::vector<padded<var<int>>> choosing_;
+  std::deque<bit_register<P>> number_;
+};
+
+}  // namespace kex::baselines

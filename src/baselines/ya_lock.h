@@ -1,0 +1,129 @@
+// The Yang–Anderson local-spin mutual exclusion algorithm (reference [14]
+// of the paper: "Fast, Scalable Synchronization with Minimal Hardware
+// Support") — O(log N) remote references per acquisition from atomic
+// reads and writes only, no read-modify-write primitives at all.
+//
+// Structure: a binary arbitration tree.  Each internal node runs a
+// two-process competition between the winners of its two subtrees:
+//
+//     entry(side i):                       exit(side i):
+//      1: C[i] := p                        10: C[i] := ⊥
+//      2: T := p                           11: rival := T
+//      3: P[p] := 0                        12: if rival != p: P[rival] := 2
+//      4: rival := C[1-i]
+//      5: if rival != ⊥ and T = p:
+//      6:    if P[rival] = 0: P[rival] := 1
+//      7:    while P[p] = 0: spin
+//      8:    if T = p:
+//      9:       while P[p] <= 1: spin
+//
+// The two-stage wait (statements 7-9) resolves the race where both
+// processes see themselves as the later arrival.  All spinning is on
+// P[p], the process's own flag (owner-assigned per node here, so spins
+// are local under both cost models; giving each node its own flag array
+// also removes any cross-node interference while a process holds a lower
+// node and competes above).
+//
+// Role in this library: the second datum for the paper's Section-5
+// comparison (bench_spinlock_k1) — with MCS it brackets "the fastest spin
+// locks" the authors say k-exclusion should approach as k -> 1.  Like MCS
+// it is mutual exclusion only (k = 1) and tolerates no failures.
+//
+// This implementation was validated with the exhaustive interleaving
+// explorer (tests/stepper_test.cpp drives every schedule prefix of the
+// two-process node protocol) in addition to the stress/chaos suites.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "common/math.h"
+#include "platform/platform.h"
+
+namespace kex::baselines {
+
+template <Platform P>
+class ya_lock {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  ya_lock(int n, int k = 1, int pid_space = -1) : n_(n) {
+    if (pid_space < 0) pid_space = n;
+    KEX_CHECK_MSG(k == 1, "ya_lock is k = 1 only");
+    KEX_CHECK_MSG(n >= 2, "ya_lock needs at least 2 processes");
+    leaves_ = next_pow2(pid_space < 2 ? 2 : pid_space);
+    for (int i = 0; i < leaves_; ++i) nodes_.emplace_back(pid_space);
+  }
+
+  void acquire(proc& p) {
+    for (int x = leaves_ + p.id; x > 1; x >>= 1)
+      compete(node_at(x >> 1), x & 1, p);
+  }
+
+  void release(proc& p) {
+    // Reverse of acquisition: top-down from the root.
+    int path[32];
+    int d = 0;
+    for (int x = leaves_ + p.id; x > 1; x >>= 1) path[d++] = x;
+    for (int i = d - 1; i >= 0; --i)
+      leave(node_at(path[i] >> 1), path[i] & 1, p);
+  }
+
+  int n() const { return n_; }
+  int k() const { return 1; }
+  int depth() const { return ceil_log2(leaves_); }
+
+ private:
+  struct node {
+    padded<var<int>> c[2];    // registered pid per side; -1 = ⊥
+    padded<var<int>> t;       // turn: the later arrival
+    std::vector<var<int>> pf; // per-pid spin flag: 0 wait, 1 stage2, 2 go
+
+    explicit node(int pid_space)
+        : c{padded<var<int>>(-1), padded<var<int>>(-1)},
+          t(-1),
+          pf(static_cast<std::size_t>(pid_space)) {
+      for (int pid = 0; pid < pid_space; ++pid)
+        pf[static_cast<std::size_t>(pid)].set_owner(pid);
+    }
+  };
+
+  node& node_at(int idx) {
+    return nodes_[static_cast<std::size_t>(idx)];
+  }
+
+  var<int>& pflag(node& v, int pid) {
+    return v.pf[static_cast<std::size_t>(pid)];
+  }
+
+  void compete(node& v, int side, proc& p) {
+    v.c[side].value.write(p, p.id);                          // 1
+    v.t.value.write(p, p.id);                                // 2
+    pflag(v, p.id).write(p, 0);                              // 3
+    int rival = v.c[1 - side].value.read(p);                 // 4
+    if (rival != -1 && v.t.value.read(p) == p.id) {          // 5
+      if (pflag(v, rival).read(p) == 0)                      // 6
+        pflag(v, rival).write(p, 1);
+      while (pflag(v, p.id).read(p) == 0) p.spin();          // 7
+      if (v.t.value.read(p) == p.id) {                       // 8
+        while (pflag(v, p.id).read(p) <= 1) p.spin();        // 9
+      }
+    }
+  }
+
+  void leave(node& v, int side, proc& p) {
+    v.c[side].value.write(p, -1);                            // 10
+    int rival = v.t.value.read(p);                           // 11
+    if (rival >= 0 && rival != p.id) pflag(v, rival).write(p, 2);  // 12
+  }
+
+  int n_;
+  int leaves_ = 0;
+  std::deque<node> nodes_;  // heap-indexed; index 0 unused, 1 = root
+};
+
+}  // namespace kex::baselines

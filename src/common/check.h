@@ -1,0 +1,48 @@
+// Invariant checking.
+//
+// KEX_CHECK is an always-on runtime check used for *library invariants*
+// whose violation indicates a bug in the library or a misuse of the API
+// (e.g. an (N,k) instance constructed with k >= N, or a process id outside
+// 0..N-1).  It throws `kex::invariant_violation` so tests can assert on it
+// and callers can distinguish it from algorithm-level exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kex {
+
+class invariant_violation : public std::logic_error {
+ public:
+  explicit invariant_violation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "KEX_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_violation(os.str());
+}
+}  // namespace detail
+
+}  // namespace kex
+
+#define KEX_CHECK(expr)                                             \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::kex::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define KEX_CHECK_MSG(expr, msg)                                    \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream kex_check_os_;                             \
+      kex_check_os_ << msg;                                         \
+      ::kex::detail::check_failed(#expr, __FILE__, __LINE__,        \
+                                  kex_check_os_.str());             \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,40 @@
+// Small integer math helpers used by the tree constructions and the
+// theorem-bound computations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace kex {
+
+// ceil(a / b) for positive integers.
+constexpr int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(int x) {
+  int l = 0;
+  int v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+// Smallest power of two >= x, for x >= 1.
+constexpr int next_pow2(int x) {
+  int v = 1;
+  while (v < x) v <<= 1;
+  return v;
+}
+
+static_assert(ceil_div(7, 2) == 4);
+static_assert(ceil_log2(1) == 0);
+static_assert(ceil_log2(2) == 1);
+static_assert(ceil_log2(3) == 2);
+static_assert(ceil_log2(8) == 3);
+static_assert(next_pow2(3) == 4);
+static_assert(next_pow2(8) == 8);
+
+}  // namespace kex

@@ -1,0 +1,41 @@
+// Named algorithm configurations matching the paper's theorems.
+#pragma once
+
+#include "kex/cc_inductive.h"
+#include "kex/dsm_bounded.h"
+#include "kex/dsm_unbounded.h"
+#include "kex/fast_path.h"
+#include "kex/kexclusion.h"
+#include "kex/tree_kex.h"
+
+namespace kex {
+
+// Theorem 1: inductive chain, 7(N-k) RMRs — cc_inductive<P> directly.
+// Theorem 5: inductive chain, 14(N-k) RMRs — dsm_bounded<P> directly.
+
+// Theorem 2: tree of (2k,k) CC blocks, 7k·log2⌈N/k⌉ RMRs.
+template <Platform P>
+using cc_tree = tree_kex<P, cc_inductive<P>>;
+
+// Theorem 6: tree of (2k,k) DSM blocks, 14k·log2⌈N/k⌉ RMRs.
+template <Platform P>
+using dsm_tree = tree_kex<P, dsm_bounded<P>>;
+
+// Theorem 3: fast path into a (2k,k) CC block with a tree slow path —
+// 7k+2 RMRs when contention <= k, 7k(log2⌈N/k⌉+1)+2 beyond.
+template <Platform P>
+using cc_fast = fast_path_kex<P, cc_inductive<P>, cc_tree<P>>;
+
+// Theorem 7: the DSM analogue — 14k+2 / 14k(log2⌈N/k⌉+1)+2.
+template <Platform P>
+using dsm_fast = fast_path_kex<P, dsm_bounded<P>, dsm_tree<P>>;
+
+// Theorem 4: nested fast paths, ⌈c/k⌉(7k+2) RMRs at contention c.
+template <Platform P>
+using cc_graceful = graceful_kex<P, cc_inductive<P>>;
+
+// Theorem 8: the DSM analogue, ⌈c/k⌉(14k+2).
+template <Platform P>
+using dsm_graceful = graceful_kex<P, dsm_bounded<P>>;
+
+}  // namespace kex

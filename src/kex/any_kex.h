@@ -1,0 +1,114 @@
+// Type-erased k-exclusion handle and a by-name factory.
+//
+// The algorithm classes are templates (zero-overhead when the concrete
+// type is known); `any_kex` wraps any of them behind a small virtual
+// interface for code that selects the algorithm at runtime — CLI tools,
+// config-driven services, benchmark drivers.  `make_kex` builds one from
+// its catalog name (the names used across the benches and docs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/atomic_queue_kex.h"
+#include "baselines/bakery_kex.h"
+#include "baselines/mcs_lock.h"
+#include "baselines/scan_kex.h"
+#include "baselines/ya_lock.h"
+#include "common/check.h"
+#include "kex/algorithms.h"
+
+namespace kex {
+
+template <Platform P>
+class any_kex {
+  struct iface {
+    virtual ~iface() = default;
+    virtual void acquire(typename P::proc&) = 0;
+    virtual void release(typename P::proc&) = 0;
+    virtual int n() const = 0;
+    virtual int k() const = 0;
+  };
+
+  template <class A>
+  struct model final : iface {
+    A alg;
+    template <class... Args>
+    explicit model(Args&&... args) : alg(std::forward<Args>(args)...) {}
+    void acquire(typename P::proc& p) override { alg.acquire(p); }
+    void release(typename P::proc& p) override { alg.release(p); }
+    int n() const override { return alg.n(); }
+    int k() const override { return alg.k(); }
+  };
+
+ public:
+  any_kex() = default;
+
+  template <class A, class... Args>
+  static any_kex make(Args&&... args) {
+    any_kex out;
+    out.impl_ = std::make_unique<model<A>>(std::forward<Args>(args)...);
+    return out;
+  }
+
+  void acquire(typename P::proc& p) { impl_->acquire(p); }
+  void release(typename P::proc& p) { impl_->release(p); }
+  int n() const { return impl_->n(); }
+  int k() const { return impl_->k(); }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  std::unique_ptr<iface> impl_;
+};
+
+// Catalog names accepted by make_kex.
+inline const std::vector<std::string>& kex_catalog() {
+  static const std::vector<std::string> names = {
+      "cc_inductive", "cc_tree",      "cc_fast",     "cc_graceful",
+      "dsm_bounded",  "dsm_unbounded", "dsm_tree",   "dsm_fast",
+      "dsm_graceful", "ticket",       "atomic_queue", "bakery",
+      "scan",         "mcs",          "ya",
+  };
+  return names;
+}
+
+// Build an (n,k)-exclusion by catalog name.  Throws invariant_violation
+// for unknown names or shape constraints the algorithm rejects (e.g. the
+// k=1-only locks).
+template <Platform P>
+any_kex<P> make_kex(std::string_view name, int n, int k) {
+  if (name == "cc_inductive")
+    return any_kex<P>::template make<cc_inductive<P>>(n, k);
+  if (name == "cc_tree") return any_kex<P>::template make<cc_tree<P>>(n, k);
+  if (name == "cc_fast") return any_kex<P>::template make<cc_fast<P>>(n, k);
+  if (name == "cc_graceful")
+    return any_kex<P>::template make<cc_graceful<P>>(n, k);
+  if (name == "dsm_bounded")
+    return any_kex<P>::template make<dsm_bounded<P>>(n, k);
+  if (name == "dsm_unbounded")
+    return any_kex<P>::template make<dsm_unbounded<P>>(n, k);
+  if (name == "dsm_tree")
+    return any_kex<P>::template make<dsm_tree<P>>(n, k);
+  if (name == "dsm_fast")
+    return any_kex<P>::template make<dsm_fast<P>>(n, k);
+  if (name == "dsm_graceful")
+    return any_kex<P>::template make<dsm_graceful<P>>(n, k);
+  if (name == "ticket")
+    return any_kex<P>::template make<baselines::ticket_kex<P>>(n, k);
+  if (name == "atomic_queue")
+    return any_kex<P>::template make<baselines::atomic_queue_kex<P>>(n, k);
+  if (name == "bakery")
+    return any_kex<P>::template make<baselines::bakery_kex<P>>(n, k);
+  if (name == "scan")
+    return any_kex<P>::template make<baselines::scan_kex<P>>(n, k);
+  if (name == "mcs")
+    return any_kex<P>::template make<baselines::mcs_lock<P>>(n, k);
+  if (name == "ya")
+    return any_kex<P>::template make<baselines::ya_lock<P>>(n, k);
+  KEX_CHECK_MSG(false, "make_kex: unknown algorithm '"
+                           << std::string(name) << "'");
+}
+
+}  // namespace kex

@@ -1,0 +1,121 @@
+// Figure 2: (N,k)-exclusion for cache-coherent machines, and its inductive
+// composition (Theorem 1).
+//
+// One `cc_level<P>` is the body of Figure 2 for a single k: assuming at
+// most j+1 processes are concurrently inside (guaranteed by an enclosing
+// (N,j+1)-exclusion, or trivially at the basis j = N-1), it admits at most
+// j of them.  The level uses a slot counter X (initially j) and a single
+// spin word Q holding the id of the (at most one) waiting process:
+//
+//     1: Acquire(N, j+1)                      — provided by the caller
+//     2: if fetch_and_increment(X,-1) = 0 then
+//     3:     Q := p
+//     4:     if X < 0 then
+//     5:         while Q = p do /* spin */
+//        Critical Section
+//     6: fetch_and_increment(X, 1)
+//     7: Q := p                               — releases the waiter, if any
+//     8: Release(N, j+1)
+//
+// `cc_inductive<P>` chains levels j = N-1, N-2, ..., k (acquired in that
+// order, released in reverse), realizing Theorem 1: (N,k)-exclusion with at
+// most 7(N-k) remote references per acquisition on a cache-coherent
+// machine, tolerating up to k-1 process failures.
+//
+// The algorithm never needs to know the identities of participating
+// processes in advance — only that at most `concurrency` of them are inside
+// simultaneously.  That property (noted in the paper) is what lets a
+// (2k,k) instance serve as the building block of the tree (tree_kex.h) and
+// fast-path (fast_path.h) compositions, where arbitrary subsets of the N
+// processes flow through each block.
+#pragma once
+
+#include <deque>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class cc_level {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  // A level admitting at most `j` processes, assuming at most j+1 enter.
+  explicit cc_level(int j) : j_(j), x_(j), q_(-1) {
+    KEX_CHECK_MSG(j >= 1, "cc_level capacity must be >= 1");
+  }
+
+  void acquire(proc& p) {
+    if (x_.value.fetch_add(p, -1) == 0) {         // 2: no slot available
+      q_.value.write(p, p.id);                    // 3: register as waiter
+      if (x_.value.read(p) < 0) {                 // 4: still none — wait
+        while (q_.value.read(p) == p.id) p.spin();  // 5: local spin
+      }
+    }
+  }
+
+  void release(proc& p) {
+    x_.value.fetch_add(p, 1);                     // 6: return the slot
+    q_.value.write(p, p.id);                      // 7: wake waiter, if any
+  }
+
+  int capacity() const { return j_; }
+
+  // Debug/probe accessors (see var::peek): the paper's invariant (I2)
+  // implies X ranges over -1..j at every state; test probes assert it.
+  int debug_x() const { return x_.value.peek(); }
+  int debug_q() const { return q_.value.peek(); }
+
+ private:
+  int j_;
+  padded<var<int>> x_;  // slot counter, range -1..j
+  padded<var<int>> q_;  // id of the waiting process
+};
+
+template <Platform P>
+class cc_inductive {
+  using proc = typename P::proc;
+
+ public:
+  // (concurrency, k)-exclusion: admits at most k of the at-most-
+  // `concurrency` processes concurrently inside.  `pid_space` is accepted
+  // for constructor parity with the DSM algorithms (which size per-process
+  // arrays by it) and is unused here: levels identify processes only by the
+  // ids they present.
+  cc_inductive(int concurrency, int k, int pid_space = -1)
+      : n_(concurrency), k_(k) {
+    (void)pid_space;
+    KEX_CHECK_MSG(k >= 1 && concurrency > k,
+                  "cc_inductive requires 1 <= k < concurrency");
+    for (int j = concurrency - 1; j >= k; --j) levels_.emplace_back(j);
+  }
+
+  void acquire(proc& p) {
+    for (auto& level : levels_) level.acquire(p);
+  }
+
+  void release(proc& p) {
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it)
+      it->release(p);
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int depth() const { return static_cast<int>(levels_.size()); }
+  const cc_level<P>& level(int i) const {
+    return levels_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  int n_, k_;
+  // j = n-1 down to k, in acquisition order.  (deque: levels hold atomics
+  // and are neither copyable nor movable; deque emplaces in place.)
+  std::deque<cc_level<P>> levels_;
+};
+
+}  // namespace kex

@@ -1,0 +1,176 @@
+// Figure 6: (N,k)-exclusion for distributed shared-memory machines using a
+// *bounded* number (k+2) of local spin locations per process — the paper's
+// space-bounded refinement of Figure 5, and the algorithm behind Theorem 5:
+// (N,k)-exclusion with at most 14(N-k) remote references.
+//
+// The difficulty Figure 6 solves: process p must pick a spin location that
+// no delayed process q (which read an old value of Q) is still about to
+// write.  Each location P[p][v] carries a counter R[p][v]; a process that
+// reads (p,v) from Q increments R[p][v] before acting on it ("informing"
+// p), re-checks Q, and decrements when done.  p only reuses a location
+// whose counter is zero and which is not the most recently used one
+// (tracked in the private variable `last`), which the paper shows is always
+// possible within the k+2 available locations.
+//
+//     1:  Acquire(N, j+1)                          — provided by the caller
+//     2:  if fetch_and_increment(X,-1) = 0 then
+//     3:      next.loc := (last + 1) mod (k+2)
+//     4:      while R[p][next.loc] != 0 do
+//     5:          next.loc := (next.loc + 1) mod (k+2)
+//     6:      P[p][next.loc] := false
+//     7:      u := Q
+//     8:      fetch_and_increment(R[u.pid][u.loc], 1)
+//     9:      if Q = u then
+//     10:         P[u.pid][u.loc] := true           — release current spinner
+//     11:         if compare_and_swap(Q, u, next) then
+//     12:             last := next.loc
+//     13:             if X < 0 then
+//     14:                 while !P[p][next.loc] do /* spin, locally */
+//     15:     fetch_and_increment(R[u.pid][u.loc], -1)
+//         Critical Section
+//     16: fetch_and_increment(X, 1)
+//     17: u := Q
+//     18: fetch_and_increment(R[u.pid][u.loc], 1)
+//     19: if Q = u then
+//     20:     P[u.pid][u.loc] := true
+//     21: fetch_and_increment(R[u.pid][u.loc], -1)
+//     22: Release(N, j+1)
+//
+// All spinning (statements 4-5 and 14) is on variables local to p under the
+// DSM model: P[p][*] and R[p][*] are owned by p.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "kex/loc.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class dsm_bounded_level {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  // A level admitting at most `j` of at most j+1 concurrent processes.
+  // The level allocates j+2 spin locations per process: the paper's k+2,
+  // where this level plays the role of (j+1, j)-exclusion.
+  dsm_bounded_level(int j, int pid_space)
+      : j_(j),
+        slots_(static_cast<std::uint32_t>(j) + 2),
+        x_(j),
+        q_(pack(loc_pair{0, 0})),
+        priv_(static_cast<std::size_t>(pid_space)) {
+    KEX_CHECK_MSG(j >= 1 && pid_space >= 2,
+                  "dsm_bounded_level: bad parameters");
+    spin_.reserve(static_cast<std::size_t>(pid_space));
+    reads_.reserve(static_cast<std::size_t>(pid_space));
+    for (int pid = 0; pid < pid_space; ++pid) {
+      spin_.emplace_back(static_cast<std::size_t>(slots_));
+      reads_.emplace_back(static_cast<std::size_t>(slots_));
+      for (auto& cell : spin_.back()) cell.set_owner(pid);
+      for (auto& cell : reads_.back()) cell.set_owner(pid);
+    }
+  }
+
+  void acquire(proc& p) {
+    if (x_.value.fetch_add(p, -1) == 0) {                         // 2
+      auto& me = priv_[static_cast<std::size_t>(p.id)].value;
+      std::uint32_t next = (me.last + 1) % slots_;                // 3
+      std::uint32_t scanned = 0;
+      while (reads_[static_cast<std::uint32_t>(p.id)][next].read(p) != 0) {
+        next = (next + 1) % slots_;                               // 4,5
+        // The paper proves a free location is found within one sweep; a
+        // much longer scan means the concurrency bound was violated.
+        KEX_CHECK_MSG(++scanned < 64u * slots_,
+                      "dsm_bounded: no free spin location — concurrency "
+                      "bound exceeded?");
+      }
+      spin_[static_cast<std::uint32_t>(p.id)][next].write(p, 0);  // 6
+      std::uint64_t uw = q_.value.read(p);                        // 7
+      loc_pair u = unpack(uw);
+      reads_[u.pid][u.loc].fetch_add(p, 1);                       // 8
+      if (q_.value.read(p) == uw) {                               // 9
+        spin_[u.pid][u.loc].write(p, 1);                          // 10
+        std::uint64_t mine = pack(loc_pair{
+            static_cast<std::uint32_t>(p.id), next});
+        if (q_.value.compare_exchange(p, uw, mine)) {             // 11
+          me.last = next;                                         // 12
+          if (x_.value.read(p) < 0) {                             // 13
+            while (spin_[static_cast<std::uint32_t>(p.id)][next].read(p) ==
+                   0)
+              p.spin();                                           // 14
+          }
+        }
+      }
+      reads_[u.pid][u.loc].fetch_add(p, -1);                      // 15
+    }
+  }
+
+  void release(proc& p) {
+    x_.value.fetch_add(p, 1);                                     // 16
+    std::uint64_t uw = q_.value.read(p);                          // 17
+    loc_pair u = unpack(uw);
+    reads_[u.pid][u.loc].fetch_add(p, 1);                         // 18
+    if (q_.value.read(p) == uw) {                                 // 19
+      spin_[u.pid][u.loc].write(p, 1);                            // 20
+    }
+    reads_[u.pid][u.loc].fetch_add(p, -1);                        // 21
+  }
+
+  int capacity() const { return j_; }
+
+ private:
+  struct priv_state {
+    std::uint32_t last = 0;
+  };
+
+  int j_;
+  std::uint32_t slots_;             // j + 2 spin locations per process
+  padded<var<int>> x_;              // slot counter, range -1..j
+  padded<var<std::uint64_t>> q_;    // packed loc_pair of current waiter
+  std::vector<std::vector<var<int>>> spin_;   // P[pid][loc], owner = pid
+  std::vector<std::vector<var<int>>> reads_;  // R[pid][loc], owner = pid
+  std::vector<padded<priv_state>> priv_;
+};
+
+// Inductive (N,k)-exclusion from Figure-6 levels j = N-1 .. k (Theorem 5).
+template <Platform P>
+class dsm_bounded {
+  using proc = typename P::proc;
+
+ public:
+  dsm_bounded(int concurrency, int k, int pid_space = -1)
+      : n_(concurrency), k_(k) {
+    if (pid_space < 0) pid_space = concurrency;
+    KEX_CHECK_MSG(k >= 1 && concurrency > k,
+                  "dsm_bounded requires 1 <= k < concurrency");
+    for (int j = concurrency - 1; j >= k; --j)
+      levels_.emplace_back(j, pid_space);
+  }
+
+  void acquire(proc& p) {
+    for (auto& level : levels_) level.acquire(p);
+  }
+
+  void release(proc& p) {
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it)
+      it->release(p);
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int depth() const { return static_cast<int>(levels_.size()); }
+
+ private:
+  int n_, k_;
+  std::deque<dsm_bounded_level<P>> levels_;
+};
+
+}  // namespace kex

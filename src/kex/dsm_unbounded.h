@@ -1,0 +1,181 @@
+// Figure 5: (N,k)-exclusion for distributed shared-memory machines using an
+// unbounded number of local spin locations per process.
+//
+// On a DSM machine without cache coherence, all waiting processes spinning
+// on one variable Q would each generate remote traffic per iteration.
+// Instead each process p spins on its own locally-stored flag
+// P[p][next.loc], and Q holds a (pid, loc) record identifying the spin
+// location of the (at most one) currently-waiting process.  A releasing
+// process reads Q and sets that flag.  The compare-and-swap at statement 7
+// resolves the race in which two processes try to install themselves as the
+// waiter simultaneously (see the paper's Lemma 2 proof sketch).
+//
+//     1:  Acquire(N, j+1)                        — provided by the caller
+//     2:  if fetch_and_increment(X,-1) = 0 then
+//     3:      next.loc := next.loc + 1           — a never-used location
+//     4:      P[p][next.loc] := false
+//     5:      v := Q
+//     6:      P[v.pid][v.loc] := true            — release current spinner
+//     7:      if compare_and_swap(Q, v, next) then
+//     8:          if X < 0 then
+//     9:              while !P[p][next.loc] do /* spin, locally */
+//         Critical Section
+//     10: fetch_and_increment(X, 1)
+//     11: v := Q
+//     12: P[v.pid][v.loc] := true
+//     13: Release(N, j+1)
+//
+// Each fresh wait uses a fresh location, so the space is unbounded in the
+// paper; we bound it with a configurable capacity, and a process that
+// exhausts its budget crashes with spin_capacity_exhausted (a
+// process_failed — the failure mode the algorithms already tolerate).
+// Figure 6 (dsm_bounded.h) is the paper's own fix, using k+2 locations
+// per process.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "kex/loc.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class dsm_unbounded_level {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  // A level admitting at most `j` of at most j+1 concurrent processes.
+  // `pid_space` bounds the process ids that may present themselves;
+  // `capacity` is the per-process spin-location budget standing in for the
+  // paper's unbounded array.
+  dsm_unbounded_level(int j, int pid_space, std::uint32_t capacity)
+      : j_(j),
+        capacity_(capacity),
+        x_(j),
+        q_(pack(loc_pair{0, 0})),
+        priv_(static_cast<std::size_t>(pid_space)) {
+    KEX_CHECK_MSG(j >= 1 && pid_space >= 2 && capacity >= 2,
+                  "dsm_unbounded_level: bad parameters");
+    spin_.reserve(static_cast<std::size_t>(pid_space));
+    for (int pid = 0; pid < pid_space; ++pid) {
+      spin_.emplace_back(static_cast<std::size_t>(capacity));
+      for (auto& cell : spin_.back()) cell.set_owner(pid);
+    }
+  }
+
+  void acquire(proc& p) {
+    if (x_.value.fetch_add(p, -1) == 0) {                       // 2
+      auto& me = priv_[static_cast<std::size_t>(p.id)].value;
+      // Private counter, but atomic so tests can observe it racily.
+      std::uint32_t my_loc =
+          me.next_loc.fetch_add(1, std::memory_order_relaxed) + 1;  // 3
+      if (my_loc >= capacity_) {
+        // The finite stand-in for the paper's unbounded array is spent:
+        // this process crashes (see spin_capacity_exhausted's contract);
+        // use dsm_bounded (Figure 6) for long contended runs.
+        throw spin_capacity_exhausted{{p.id}};
+      }
+      flag(p.id, my_loc).write(p, 0);                           // 4
+      std::uint64_t v = q_.value.read(p);                       // 5
+      loc_pair vl = unpack(v);
+      flag(vl.pid, vl.loc).write(p, 1);                         // 6
+      std::uint64_t next = pack(loc_pair{
+          static_cast<std::uint32_t>(p.id), my_loc});
+      if (q_.value.compare_exchange(p, v, next)) {              // 7
+        if (x_.value.read(p) < 0) {                             // 8
+          while (flag(p.id, my_loc).read(p) == 0) p.spin();      // 9
+        }
+      }
+    }
+  }
+
+  void release(proc& p) {
+    x_.value.fetch_add(p, 1);                                   // 10
+    std::uint64_t v = q_.value.read(p);                         // 11
+    loc_pair vl = unpack(v);
+    flag(vl.pid, vl.loc).write(p, 1);                           // 12
+  }
+
+  int capacity() const { return j_; }
+
+  // Observability for tests and capacity planning: how many of `pid`'s
+  // spin locations this level has consumed so far.
+  std::uint32_t locations_used(int pid) const {
+    return priv_[static_cast<std::size_t>(pid)].value.next_loc.load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  struct priv_state {
+    std::atomic<std::uint32_t> next_loc{0};
+  };
+
+  var<int>& flag(std::uint32_t pid, std::uint32_t loc) {
+    return spin_[pid][loc];
+  }
+  var<int>& flag(int pid, std::uint32_t loc) {
+    return spin_[static_cast<std::uint32_t>(pid)][loc];
+  }
+
+  int j_;
+  std::uint32_t capacity_;
+  padded<var<int>> x_;             // slot counter, range -1..j
+  padded<var<std::uint64_t>> q_;   // packed loc_pair of current waiter
+  std::vector<std::vector<var<int>>> spin_;  // spin_[pid][loc], owner = pid
+  std::vector<padded<priv_state>> priv_;     // per-process private vars
+};
+
+// Inductive (N,k)-exclusion from Figure-5 levels j = N-1 .. k.
+template <Platform P>
+class dsm_unbounded {
+  using proc = typename P::proc;
+
+ public:
+  // Each level consumes one location per wait episode; size this to the
+  // expected number of contended acquisitions (it exists only to stand in
+  // for the paper's genuinely unbounded array).
+  static constexpr std::uint32_t default_capacity = 1u << 12;
+
+  dsm_unbounded(int concurrency, int k, int pid_space = -1,
+                std::uint32_t capacity = default_capacity)
+      : n_(concurrency), k_(k) {
+    if (pid_space < 0) pid_space = concurrency;
+    KEX_CHECK_MSG(k >= 1 && concurrency > k,
+                  "dsm_unbounded requires 1 <= k < concurrency");
+    for (int j = concurrency - 1; j >= k; --j)
+      levels_.emplace_back(j, pid_space, capacity);
+  }
+
+  void acquire(proc& p) {
+    for (auto& level : levels_) level.acquire(p);
+  }
+
+  void release(proc& p) {
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it)
+      it->release(p);
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int depth() const { return static_cast<int>(levels_.size()); }
+
+  // Total spin locations `pid` has consumed across all levels.
+  std::uint32_t locations_used(int pid) const {
+    std::uint32_t total = 0;
+    for (const auto& level : levels_) total += level.locations_used(pid);
+    return total;
+  }
+
+ private:
+  int n_, k_;
+  std::deque<dsm_unbounded_level<P>> levels_;
+};
+
+}  // namespace kex

@@ -1,0 +1,198 @@
+// Figure 4: (N,k)-exclusion with a "fast path" — Theorems 3/7 — and its
+// nested, gracefully-degrading variant — Theorems 4/8.
+//
+// A saturating counter X (k slots) selects up to k processes that proceed
+// directly to a (2k,k)-exclusion block; everyone else first traverses a
+// slow-path (N,k)-exclusion, which admits at most k of them, so at most 2k
+// processes are ever inside the block:
+//
+//     1: slow := false
+//     2: if fetch_and_increment(X,-1) = 0 then    — saturating at 0
+//     3:     slow := true
+//     4:     Acquire(slow path)
+//     5: Acquire(2k,k block)
+//        Critical Section
+//     6: Release(2k,k block)
+//     7: if slow then
+//     8:     Release(slow path)
+//     9: else fetch_and_increment(X, 1)
+//
+// When contention is at most k, statement 2 always finds a slot, so an
+// acquisition costs only the counter operation plus the (2k,k) block:
+// 7k + 2 remote references on a cache-coherent machine (Theorem 3),
+// 14k + 2 on DSM (Theorem 7), with the slow path (a Figure-3(a) tree)
+// adding 7k·log2⌈N/k⌉ (resp. 14k·...) only beyond that threshold.
+//
+// `graceful_kex` nests fast paths (Figure 3(b)): the slow path of each
+// stage is another fast-path stage, bottoming out in a plain (2k,k) block
+// once at most 2k processes can remain.  A process penetrates about ⌈c/k⌉
+// stages when contention is c, giving Theorems 4/8: ⌈c/k⌉(7k+2) remote
+// references (14k+2 on DSM) — performance that degrades *gracefully* with
+// contention instead of jumping when it exceeds k.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "kex/kexclusion.h"
+#include "primitives/ops.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+// Generic Figure-4 wrapper over any block/slow-path types.
+//
+// Block: (2k,k)-exclusion, constructed as Block(2k, k, pid_space).
+// Slow:  (N,k)-exclusion over the same pid space, constructed as
+//        Slow(n, k, pid_space).
+template <Platform P, class Block, class Slow>
+class fast_path_kex {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  fast_path_kex(int n, int k, int pid_space = -1)
+      : n_(n),
+        k_(k),
+        x_(k),
+        block_(2 * k, k, pid_space < 0 ? n : pid_space),
+        slow_(n, k, pid_space < 0 ? n : pid_space),
+        slow_flag_(static_cast<std::size_t>(pid_space < 0 ? n : pid_space)) {
+    KEX_CHECK_MSG(k >= 1 && n > k, "fast_path_kex requires 1 <= k < n");
+  }
+
+  void acquire(proc& p) {
+    auto& slow = slow_flag_[static_cast<std::size_t>(p.id)].value;
+    slow = false;                                               // 1
+    if (x_.value.fetch_dec_floor0(p) == 0) {                    // 2
+      slow = true;                                              // 3
+      slow_hits_.fetch_add(1, std::memory_order_relaxed);
+      slow_.acquire(p);                                         // 4
+    } else {
+      fast_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    block_.acquire(p);                                          // 5
+  }
+
+  void release(proc& p) {
+    block_.release(p);                                          // 6
+    if (slow_flag_[static_cast<std::size_t>(p.id)].value) {     // 7
+      slow_.release(p);                                         // 8
+    } else {
+      x_.value.fetch_add(p, 1);                                 // 9
+    }
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  Slow& slow_path() { return slow_; }
+  Block& block() { return block_; }
+
+  // Introspection: how many acquisitions took each path.  Relaxed
+  // counters outside the cost model (they are diagnostics, not protocol).
+  std::uint64_t fast_hits() const {
+    return fast_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slow_hits() const {
+    return slow_hits_.load(std::memory_order_relaxed);
+  }
+  double fast_hit_rate() const {
+    auto f = fast_hits();
+    auto s = slow_hits();
+    return (f + s) == 0 ? 1.0
+                        : static_cast<double>(f) /
+                              static_cast<double>(f + s);
+  }
+
+ private:
+  int n_, k_;
+  padded<var<int>> x_;  // saturating slot counter, range 0..k
+  Block block_;
+  Slow slow_;
+  std::vector<padded<bool>> slow_flag_;  // the private variable `slow`
+  std::atomic<std::uint64_t> fast_hits_{0}, slow_hits_{0};
+};
+
+// Theorem 4/8: nested fast paths with graceful degradation.
+//
+// Stage i holds a saturating counter X_i with k slots and a (2k,k) block;
+// a process that misses a slot at stage i proceeds to stage i+1 and, once
+// admitted there, passes back up through each stage's block.  The chain
+// bottoms out in a plain (2k,k) block once at most 2k processes can remain
+// (each earlier stage subtracts the k slot-holders it detains).
+template <Platform P, class Block>
+class graceful_kex {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  graceful_kex(int n, int k, int pid_space = -1) : n_(n), k_(k) {
+    if (pid_space < 0) pid_space = n;
+    KEX_CHECK_MSG(k >= 1 && n > k, "graceful_kex requires 1 <= k < n");
+    int remaining = n;
+    while (remaining > 2 * k) {
+      stages_.emplace_back(k, 2 * k, pid_space);
+      remaining -= k;
+    }
+    final_block_.emplace(2 * k, k, pid_space);
+    depth_.resize(static_cast<std::size_t>(pid_space));
+  }
+
+  void acquire(proc& p) {
+    const int stages = static_cast<int>(stages_.size());
+    // Descend until a stage grants a slot (statement 2 of each nested
+    // Figure 4), or the chain bottoms out at the final (2k,k) block.
+    int d = 0;
+    while (d < stages && stage_at(d).x.value.fetch_dec_floor0(p) == 0) ++d;
+    depth_[static_cast<std::size_t>(p.id)].value = d;
+    // Acquire blocks innermost-first: stage d's block (or the final block
+    // if no stage granted a slot), then back out through d-1, ..., 0.
+    if (d == stages)
+      final_block_->acquire(p);
+    else
+      stage_at(d).block.acquire(p);
+    for (int i = d - 1; i >= 0; --i) stage_at(i).block.acquire(p);
+  }
+
+  void release(proc& p) {
+    const int stages = static_cast<int>(stages_.size());
+    const int d = depth_[static_cast<std::size_t>(p.id)].value;
+    // Reverse of acquisition: outermost blocks first, then return the slot
+    // (or release the final block) at the depth reached.
+    for (int i = 0; i < d; ++i) stage_at(i).block.release(p);
+    if (d == stages) {
+      final_block_->release(p);
+    } else {
+      stage_at(d).block.release(p);
+      stage_at(d).x.value.fetch_add(p, 1);
+    }
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int stage_count() const { return static_cast<int>(stages_.size()); }
+
+ private:
+  struct stage {
+    padded<var<int>> x;  // saturating slot counter, range 0..k
+    Block block;
+    stage(int k, int block_n, int pid_space)
+        : x(k), block(block_n, k, pid_space) {}
+  };
+
+  stage& stage_at(int i) { return stages_[static_cast<std::size_t>(i)]; }
+
+  int n_, k_;
+  std::deque<stage> stages_;
+  std::optional<Block> final_block_;
+  std::vector<padded<int>> depth_;  // private: stage reached per process
+};
+
+}  // namespace kex

@@ -1,0 +1,75 @@
+// The k-exclusion interface.
+//
+// An (N,k)-exclusion object admits at most k processes to their critical
+// sections simultaneously, and guarantees that any nonfaulty process in its
+// entry (exit) section eventually reaches its critical (noncritical)
+// section provided at most k-1 processes are faulty (paper, Section 2).
+//
+// Every algorithm in src/kex/ and src/baselines/ models this duck-typed
+// interface:
+//    void acquire(P::proc&);   // entry section
+//    void release(P::proc&);   // exit section
+//    int n() const;            // concurrency bound N it was built for
+//    int k() const;            // critical-section capacity k
+#pragma once
+
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <class A, class P>
+concept KExclusionFor =
+    Platform<P> && requires(A a, typename P::proc& p, const A ca) {
+      a.acquire(p);
+      a.release(p);
+      { ca.n() } -> std::convertible_to<int>;
+      { ca.k() } -> std::convertible_to<int>;
+    };
+
+// RAII critical-section guard (C++ Core Guidelines CP.20).
+//
+// If the owning process is failure-injected while inside the critical
+// section, the release in the destructor throws `process_failed`; a failed
+// process must not execute further statements, so the guard swallows that
+// exception (and only that one) — the slot is deliberately leaked, exactly
+// as a crashed process leaks it.
+template <class A, Platform P>
+class cs_guard {
+ public:
+  cs_guard(A& a, typename P::proc& p) : a_(a), p_(p) { a_.acquire(p_); }
+
+  cs_guard(const cs_guard&) = delete;
+  cs_guard& operator=(const cs_guard&) = delete;
+
+  ~cs_guard() {
+    try {
+      a_.release(p_);
+    } catch (const process_failed&) {
+      // A crashed process stops mid-protocol; nothing to clean up.
+    }
+  }
+
+ private:
+  A& a_;
+  typename P::proc& p_;
+};
+
+// The trivial (N,k)-exclusion for N <= k: every process may always enter.
+// Used as the base of compositions and for degenerate configurations.
+template <Platform P>
+class trivial_kex {
+ public:
+  trivial_kex(int n, int k) : n_(n), k_(k) {
+    KEX_CHECK_MSG(n <= k, "trivial_kex requires n <= k");
+  }
+  void acquire(typename P::proc&) {}
+  void release(typename P::proc&) {}
+  int n() const { return n_; }
+  int k() const { return k_; }
+
+ private:
+  int n_, k_;
+};
+
+}  // namespace kex

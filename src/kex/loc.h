@@ -1,0 +1,31 @@
+// Packed (pid, loc) pairs — the paper's `loctype` record (Figures 5 and 6).
+//
+// The DSM algorithms compare-and-swap a record {pid: 0..N-1, loc: counter}.
+// We pack it into a single 64-bit word so the platform CAS applies.
+#pragma once
+
+#include <cstdint>
+
+namespace kex {
+
+struct loc_pair {
+  std::uint32_t pid = 0;
+  std::uint32_t loc = 0;
+
+  friend constexpr bool operator==(loc_pair a, loc_pair b) {
+    return a.pid == b.pid && a.loc == b.loc;
+  }
+};
+
+constexpr std::uint64_t pack(loc_pair l) {
+  return (static_cast<std::uint64_t>(l.pid) << 32) | l.loc;
+}
+
+constexpr loc_pair unpack(std::uint64_t w) {
+  return loc_pair{static_cast<std::uint32_t>(w >> 32),
+                  static_cast<std::uint32_t>(w & 0xffffffffu)};
+}
+
+static_assert(unpack(pack(loc_pair{7, 42})) == loc_pair{7, 42});
+
+}  // namespace kex

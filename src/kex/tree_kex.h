@@ -1,0 +1,90 @@
+// Figure 3(a): tree composition of (2k,k)-exclusion building blocks —
+// Theorem 2 (cache-coherent, 7k·log2⌈N/k⌉ remote references) and
+// Theorem 6 (DSM, 14k·log2⌈N/k⌉).
+//
+// The N processes are statically partitioned into ⌈N/k⌉ leaf groups of k.
+// Each internal node of a binary tree over the groups is a (2k,k)-exclusion
+// block: at most k processes arrive from each child (by the child block's
+// guarantee, or by leaf-group size), so at most 2k are ever inside a node,
+// and at most k emerge from the root — which is exactly (N,k)-exclusion.
+//
+// A process entering its critical section acquires the blocks on its
+// leaf-to-root path bottom-up and releases them top-down (it must keep
+// holding a child while inside the parent, or the parent's 2k concurrency
+// bound would break).  This relies on the building block *not* needing to
+// know the identities of the (at most 2k) processes using it in advance —
+// the property the paper points out for its Figure-2/5/6 algorithms.
+//
+// `Block` is any (2k,k)-exclusion constructible as
+// Block(concurrency=2k, k, pid_space): cc_inductive (Theorem 2) or
+// dsm_bounded / dsm_unbounded (Theorem 6).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "kex/kexclusion.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P, class Block>
+class tree_kex {
+  using proc = typename P::proc;
+
+ public:
+  tree_kex(int n, int k, int pid_space = -1) : n_(n), k_(k) {
+    if (pid_space < 0) pid_space = n;
+    KEX_CHECK_MSG(k >= 1 && n > k, "tree_kex requires 1 <= k < n");
+    leaves_ = next_pow2(ceil_div(n, k));
+    KEX_CHECK(leaves_ >= 2);  // n > k implies at least two groups
+    // Heap layout: node 1 is the root, node i has children 2i and 2i+1,
+    // leaf group g sits at index leaves_ + g.  Internal nodes 1..leaves_-1
+    // each hold a (2k,k) block.
+    for (int i = 0; i < leaves_ - 1; ++i)
+      blocks_.emplace_back(2 * k, k, pid_space);
+  }
+
+  void acquire(proc& p) {
+    int path[max_depth];
+    int d = path_of(p.id, path);
+    for (int i = 0; i < d; ++i) block(path[i]).acquire(p);
+  }
+
+  void release(proc& p) {
+    int path[max_depth];
+    int d = path_of(p.id, path);
+    for (int i = d - 1; i >= 0; --i) block(path[i]).release(p);
+  }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int depth() const { return ceil_log2(leaves_); }
+  int block_count() const { return leaves_ - 1; }
+
+ private:
+  static constexpr int max_depth = 32;
+
+  // Fills `path` with the node indices from the leaf's parent up to the
+  // root — the acquisition (bottom-up) order; returns the path length.
+  int path_of(int pid, int (&path)[max_depth]) const {
+    int leaf = leaves_ + pid / k_;
+    int d = 0;
+    for (int node = leaf / 2; node >= 1; node /= 2) path[d++] = node;
+    return d;
+  }
+
+  Block& block(int node) {
+    return blocks_[static_cast<std::size_t>(node - 1)];
+  }
+
+  int n_, k_;
+  int leaves_ = 0;
+  // blocks_[i] is heap node i+1; deque because blocks hold atomics and are
+  // not movable.
+  std::deque<Block> blocks_;
+};
+
+}  // namespace kex

@@ -1,0 +1,36 @@
+// Platform concept: the two substrates algorithms are written against.
+//
+// Every algorithm in the library is a template over a Platform P and uses
+//   typename P::proc           — per-process execution context
+//   typename P::template var<T>— a shared variable holding T
+//
+// `real_platform` compiles the algorithms down to bare std::atomic;
+// `sim_platform` adds the paper's remote-memory-reference accounting and
+// the crash-failure model.  See real.h / sim.h.
+#pragma once
+
+#include <concepts>
+
+#include "platform/proc.h"
+#include "platform/real.h"
+#include "platform/sim.h"
+
+namespace kex {
+
+template <class P>
+concept Platform = requires(typename P::proc& p,
+                            typename P::template var<int>& v) {
+  { p.id } -> std::convertible_to<int>;
+  p.spin();
+  { v.read(p) } -> std::convertible_to<int>;
+  v.write(p, 1);
+  { v.fetch_add(p, 1) } -> std::convertible_to<int>;
+  { v.fetch_dec_floor0(p) } -> std::convertible_to<int>;
+  { v.compare_exchange(p, 0, 1) } -> std::convertible_to<bool>;
+  { P::counts_rmr } -> std::convertible_to<bool>;
+};
+
+static_assert(Platform<real_platform>);
+static_assert(Platform<sim_platform>);
+
+}  // namespace kex

@@ -1,0 +1,53 @@
+// Process model shared by both platforms.
+//
+// The paper's system model is a fixed set of N asynchronous *processes*
+// p = 0..N-1 that communicate through shared variables and may fail
+// undetectably: a faulty process simply "executes no statements after some
+// state".  We realize a process as a worker thread carrying a `proc`
+// context.  Every shared-variable access takes the accessing `proc&`, which
+// lets the simulated platform (a) charge local/remote references to the
+// right process, and (b) implement the failure model: once a process is
+// marked failed, its very next shared-memory access throws
+// `process_failed`, unwinding the worker without executing any further
+// statement — exactly the paper's notion of a crashed process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace kex {
+
+// Thrown from a shared-variable access by a process that has been marked
+// failed.  Workers catch it at the top of their run loop and stop.
+struct process_failed {
+  int pid;
+};
+
+// Thrown by dsm_unbounded (Figure 5) when a process exhausts the finite
+// stand-in for the paper's unbounded spin-location array.  Derives from
+// process_failed: the process stops mid-protocol, which is exactly a
+// crash — and crashes are what these algorithms tolerate.  Catch it
+// specifically to distinguish resource exhaustion from injected failures;
+// Figure 6 (dsm_bounded) never throws it.
+struct spin_capacity_exhausted : process_failed {};
+
+// Which memory-cost model the simulated platform charges accesses under.
+// The paper analyses both machine classes (its Section 2).
+enum class cost_model : std::uint8_t {
+  none,  // do not classify accesses (still counts statements/failures)
+  cc,    // cache-coherent: read hit local; read miss and all writes remote
+  dsm,   // distributed shared memory: local iff accessor owns the variable
+};
+
+// Per-process reference counters, written only by the owning process's
+// thread and read after it quiesces.
+struct rmr_counters {
+  std::uint64_t remote = 0;
+  std::uint64_t local = 0;
+  std::uint64_t statements = 0;  // total shared accesses (remote + local)
+
+  void reset() { *this = rmr_counters{}; }
+};
+
+}  // namespace kex

@@ -1,0 +1,97 @@
+// The "real" platform: shared variables are bare std::atomic with
+// sequentially-consistent operations.
+//
+// The paper's algorithms (and their proofs) assume atomic numbered
+// statements over a sequentially consistent memory — hence every operation
+// here uses std::memory_order_seq_cst.  This platform adds no
+// instrumentation and is what the wall-clock throughput benchmarks run on;
+// the simulated platform (sim.h) shares the same variable API so each
+// algorithm is written once as a template.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+
+#include "common/cacheline.h"
+#include "platform/proc.h"
+
+namespace kex {
+
+struct real_platform {
+  // Execution context of one process on the real platform.  `spin()` is the
+  // body of every busy-wait loop; it yields so the algorithms remain live
+  // when there are more processes than hardware threads (including the
+  // single-core CI case).
+  struct proc {
+    int id = 0;
+
+    // The cost_model parameter exists for constructor parity with
+    // sim_platform::proc; the real platform never classifies accesses.
+    explicit proc(int pid = 0, cost_model = cost_model::none) : id(pid) {}
+
+    void spin() { std::this_thread::yield(); }
+
+    // Interface parity with sim_platform::proc; failure injection is only
+    // meaningful on the simulated platform.
+    static constexpr bool can_fail = false;
+  };
+
+  // A shared variable.  T must be lock-free-atomic-capable (the paper's
+  // variables are small integers, booleans and packed id/location pairs).
+  template <class T>
+  class var {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+   public:
+    var() : v_{} {}
+    explicit var(T init) : v_(init) {}
+
+    // `owner` is part of the shared-variable API so algorithms can declare
+    // DSM locality; it has no effect on the real platform.
+    var(T init, int /*owner*/) : v_(init) {}
+    void set_owner(int /*owner*/) {}
+
+    T read(proc&) const { return v_.load(std::memory_order_seq_cst); }
+
+    // Debug/probe read: no process context, no accounting.  For test
+    // probes and diagnostics only — never from algorithm code.
+    T peek() const { return v_.load(std::memory_order_seq_cst); }
+    void write(proc&, T x) { v_.store(x, std::memory_order_seq_cst); }
+    T fetch_add(proc&, T d) {
+      return v_.fetch_add(d, std::memory_order_seq_cst);
+    }
+    // Single-shot compare-and-swap matching the paper's primitive: succeeds
+    // iff the variable equals `expected`, in which case it becomes
+    // `desired`.
+    bool compare_exchange(proc&, T expected, T desired) {
+      return v_.compare_exchange_strong(expected, desired,
+                                        std::memory_order_seq_cst);
+    }
+    T exchange(proc&, T x) {
+      return v_.exchange(x, std::memory_order_seq_cst);
+    }
+
+    // The paper's range-checked fetch-and-increment (footnote 2):
+    // atomically, if the value is > 0 decrement it and return the old
+    // value; if it is 0 leave it unchanged and return 0.  Modeled as a
+    // single primitive; primitives/ops.h offers the explicit CAS-loop
+    // emulation as an ablation.
+    T fetch_dec_floor0(proc&) {
+      T old = v_.load(std::memory_order_seq_cst);
+      while (old > T{0} &&
+             !v_.compare_exchange_weak(old, old - T{1},
+                                       std::memory_order_seq_cst)) {
+      }
+      return old > T{0} ? old : T{0};
+    }
+
+   private:
+    std::atomic<T> v_;
+  };
+
+  static constexpr bool counts_rmr = false;
+};
+
+}  // namespace kex

@@ -1,0 +1,278 @@
+// The simulated platform: shared variables are instrumented so that every
+// access is (a) checked against the failure model and (b) charged as a
+// local or remote memory reference under the paper's cost model.
+//
+// Cost model (paper, Section 2):
+//
+//  * Cache-coherent (CC).  "The first read of Q generates a remote
+//    reference that causes a copy of Q to migrate to p's local cache.
+//    Subsequent reads before Q is written are therefore local.  When
+//    another process modifies Q, the cache entry is invalidated, so the
+//    next read generates a second remote reference."  We simulate this with
+//    a per-variable version number and a per-process cache table mapping
+//    variable -> last version read.  Reads are local iff the cached version
+//    is current; writes and read-modify-writes are always charged as remote
+//    (they generate interconnect/invalidation traffic) and validate the
+//    writer's own cached copy.
+//
+//  * Distributed shared memory (DSM).  "Each shared variable is local to
+//    one processor, and remote to all others."  Every variable carries an
+//    owner process id; an access is local iff the accessing process owns
+//    the variable.  Variables with no natural owner (the paper's X, Q) use
+//    owner -1 and are remote to everyone — a conservative choice consistent
+//    with the paper's worst-case counting.
+//
+// Failure model: marking a process failed makes its next shared access
+// throw `process_failed` before the access takes effect, i.e. the process
+// stops executing statements — the paper's undetectable crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+
+#include "common/cacheline.h"
+#include "platform/proc.h"
+
+namespace kex {
+
+struct sim_platform {
+  template <class T>
+  class var;
+
+  class proc {
+   public:
+    int id = 0;
+
+    explicit proc(int pid = 0, cost_model m = cost_model::cc)
+        : id(pid), model_(m) {}
+
+    proc(const proc&) = delete;
+    proc& operator=(const proc&) = delete;
+
+    void spin() { std::this_thread::yield(); }
+
+    // --- failure injection -------------------------------------------------
+    static constexpr bool can_fail = true;
+
+    // Mark this process failed.  May be called from any thread (including
+    // the process itself, to script "fail at this point in the CS").
+    void fail() { failed_.store(true, std::memory_order_relaxed); }
+    bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+    // Deterministic mid-protocol crash: fail just before this process
+    // executes its (current + n)-th shared-memory statement.  Only the
+    // owning thread may call this.  Used by the property tests that crash
+    // a process at *every* statement of an algorithm in turn.
+    void fail_after(std::uint64_t n) {
+      fail_at_ = counters_.statements + n;
+    }
+
+    // Clear failure and cached state, e.g. between test phases.
+    void resurrect() {
+      failed_.store(false, std::memory_order_relaxed);
+      fail_at_ = 0;
+      cache_.clear();
+    }
+
+    // --- stepped execution ----------------------------------------------------
+    // When a step gate is installed, every shared access first blocks until
+    // the gate grants this process a step — the hook the deterministic
+    // interleaving explorer (sim/stepper.h) uses to serialize processes at
+    // shared-access granularity.  `gate` must outlive the proc's run.
+    struct step_gate {
+      virtual ~step_gate() = default;
+      virtual void before_access(int pid) = 0;
+    };
+    void set_step_gate(step_gate* gate) { gate_ = gate; }
+
+    // --- chaos scheduling ---------------------------------------------------
+    // With chaos enabled, the process yields before a pseudo-random subset
+    // of its shared accesses, perturbing interleavings far beyond what the
+    // OS scheduler produces naturally.  Deterministic per (seed, access
+    // sequence), so failing schedules can be replayed by seed.
+    void set_chaos(std::uint32_t seed, std::uint32_t permille) {
+      chaos_state_ = seed ? seed : 0x9e3779b9u;
+      chaos_permille_ = permille > 1000 ? 1000 : permille;
+    }
+    void clear_chaos() { chaos_permille_ = 0; }
+
+    // --- accounting --------------------------------------------------------
+    cost_model model() const { return model_; }
+    void set_model(cost_model m) { model_ = m; }
+
+    const rmr_counters& counters() const { return counters_; }
+    void reset_counters() { counters_.reset(); }
+
+    // Drop the simulated cache contents (CC model), e.g. to model a
+    // process migrating between processors.
+    void flush_cache() { cache_.clear(); }
+
+   private:
+    template <class T>
+    friend class var;
+
+    void on_access() {
+      if (gate_ != nullptr) gate_->before_access(id);
+      if (failed_.load(std::memory_order_relaxed)) throw process_failed{id};
+      if (fail_at_ != 0 && counters_.statements >= fail_at_) {
+        failed_.store(true, std::memory_order_relaxed);
+        throw process_failed{id};
+      }
+      ++counters_.statements;
+      if (chaos_permille_ != 0) {
+        chaos_state_ ^= chaos_state_ << 13;
+        chaos_state_ ^= chaos_state_ >> 17;
+        chaos_state_ ^= chaos_state_ << 5;
+        if (chaos_state_ % 1000 < chaos_permille_)
+          std::this_thread::yield();
+      }
+    }
+
+    void charge(bool remote) {
+      if (remote)
+        ++counters_.remote;
+      else
+        ++counters_.local;
+    }
+
+    // CC-model read: local iff we hold a current copy; records the copy.
+    bool cc_read_is_remote(const void* v, std::uint64_t version) {
+      auto [it, inserted] = cache_.try_emplace(v, version);
+      if (inserted) return true;
+      const bool remote = it->second != version;
+      it->second = version;
+      return remote;
+    }
+
+    void cc_note_write(const void* v, std::uint64_t version) {
+      cache_[v] = version;
+    }
+
+    cost_model model_;
+    step_gate* gate_ = nullptr;
+    std::atomic<bool> failed_{false};
+    std::uint64_t fail_at_ = 0;  // statement index to crash at; 0 = off
+    std::uint32_t chaos_state_ = 0;
+    std::uint32_t chaos_permille_ = 0;  // yield probability; 0 = off
+    rmr_counters counters_{};
+    std::unordered_map<const void*, std::uint64_t> cache_;
+  };
+
+  // An instrumented shared variable.
+  template <class T>
+  class var {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+   public:
+    var() : v_{} {}
+    explicit var(T init) : v_(init) {}
+    var(T init, int owner) : v_(init), owner_(owner) {}
+
+    // Declare DSM locality: the variable is local to process `owner`.
+    void set_owner(int owner) { owner_ = owner; }
+    int owner() const { return owner_; }
+
+    T read(proc& p) const {
+      p.on_access();
+      p.charge(read_is_remote(p));
+      return v_.load(std::memory_order_seq_cst);
+    }
+
+    // Debug/probe read: no process context, no accounting, no failure
+    // check, no step gate.  For test probes (e.g. the stepper's invariant
+    // probe) and diagnostics only — never from algorithm code.
+    T peek() const { return v_.load(std::memory_order_seq_cst); }
+
+    void write(proc& p, T x) {
+      p.on_access();
+      p.charge(write_is_remote(p));
+      v_.store(x, std::memory_order_seq_cst);
+      bump(p);
+    }
+
+    T fetch_add(proc& p, T d) {
+      p.on_access();
+      p.charge(write_is_remote(p));
+      T old = v_.fetch_add(d, std::memory_order_seq_cst);
+      bump(p);
+      return old;
+    }
+
+    bool compare_exchange(proc& p, T expected, T desired) {
+      p.on_access();
+      // A CAS — successful or not — goes to the interconnect; the paper's
+      // counting charges each primitive invocation once.
+      p.charge(write_is_remote(p));
+      bool ok = v_.compare_exchange_strong(expected, desired,
+                                           std::memory_order_seq_cst);
+      if (ok) bump(p);
+      return ok;
+    }
+
+    T exchange(proc& p, T x) {
+      p.on_access();
+      p.charge(write_is_remote(p));
+      T old = v_.exchange(x, std::memory_order_seq_cst);
+      bump(p);
+      return old;
+    }
+
+    // The paper's range-checked fetch-and-increment (footnote 2), modeled
+    // as one primitive and therefore charged as a single reference — the
+    // assumption under which Theorems 3/4/7/8 state their "+2" terms.
+    T fetch_dec_floor0(proc& p) {
+      p.on_access();
+      p.charge(write_is_remote(p));
+      T old = v_.load(std::memory_order_seq_cst);
+      while (old > T{0} &&
+             !v_.compare_exchange_weak(old, old - T{1},
+                                       std::memory_order_seq_cst)) {
+      }
+      bump(p);
+      return old > T{0} ? old : T{0};
+    }
+
+   private:
+    bool read_is_remote(proc& p) const {
+      switch (p.model()) {
+        case cost_model::cc:
+          return p.cc_read_is_remote(
+              this, version_.load(std::memory_order_relaxed));
+        case cost_model::dsm:
+          return owner_ != p.id;
+        case cost_model::none:
+          return false;
+      }
+      return false;
+    }
+
+    bool write_is_remote(proc& p) const {
+      switch (p.model()) {
+        case cost_model::cc:
+          return true;  // writes generate invalidation traffic
+        case cost_model::dsm:
+          return owner_ != p.id;
+        case cost_model::none:
+          return false;
+      }
+      return false;
+    }
+
+    void bump(proc& p) {
+      std::uint64_t nv =
+          version_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (p.model() == cost_model::cc) p.cc_note_write(this, nv);
+    }
+
+    std::atomic<T> v_;
+    std::atomic<std::uint64_t> version_{0};
+    int owner_ = -1;
+  };
+
+  static constexpr bool counts_rmr = true;
+};
+
+}  // namespace kex

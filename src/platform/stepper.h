@@ -1,0 +1,199 @@
+// Deterministic interleaving exploration ("model checking lite").
+//
+// The proofs in the paper argue over every interleaving of atomic
+// statements.  This harness lets tests *enumerate* those interleavings on
+// small configurations: worker processes run their normal code against the
+// sim platform, but a step gate blocks every shared-memory access until
+// the driver grants that process a step.  A schedule is simply a sequence
+// of process ids; the driver executes the schedule prefix exactly, then
+// completes the run fairly (round-robin) so every run terminates.
+// Enumerating all prefixes of length L systematically covers the decisive
+// early interleavings of entry/exit protocols (the algorithms here have
+// short protocols, so modest L already reaches deep into them), and any
+// violating schedule is reported as a replayable pid string.
+//
+// The explorer detects deadlock (no process can make progress within a
+// step budget) and propagates invariant failures from the scripts.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "platform/sim.h"
+#include "runtime/process_group.h"
+
+namespace kex {
+
+// Serializes a fixed set of worker processes at shared-access granularity.
+class step_scheduler final : public sim_platform::proc::step_gate {
+ public:
+  explicit step_scheduler(int nprocs)
+      : state_(static_cast<std::size_t>(nprocs), wstate::running) {}
+
+  // Called by workers (via the sim proc) before every shared access.
+  void before_access(int pid) override {
+    std::unique_lock lk(m_);
+    at(pid) = wstate::waiting;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return at(pid) == wstate::granted; });
+    at(pid) = wstate::running;
+    cv_.notify_all();
+  }
+
+  // Called by the worker wrapper when a script finishes (or unwinds).
+  void retire(int pid) {
+    std::scoped_lock lk(m_);
+    at(pid) = wstate::done;
+    cv_.notify_all();
+  }
+
+  // Driver: let `pid` perform exactly one shared access.  Returns false
+  // if the process has already finished.  Blocks until the step is fully
+  // consumed (the worker is parked at its next access or done), so steps
+  // never overlap.
+  bool grant(int pid) {
+    std::unique_lock lk(m_);
+    cv_.wait(lk, [&] {
+      return at(pid) == wstate::waiting || at(pid) == wstate::done;
+    });
+    if (at(pid) == wstate::done) return false;
+    at(pid) = wstate::granted;
+    cv_.notify_all();
+    cv_.wait(lk, [&] {
+      return at(pid) == wstate::waiting || at(pid) == wstate::done;
+    });
+    return true;
+  }
+
+  bool done(int pid) {
+    std::scoped_lock lk(m_);
+    return at(pid) == wstate::done;
+  }
+
+  bool all_done() {
+    std::scoped_lock lk(m_);
+    for (auto s : state_)
+      if (s != wstate::done) return false;
+    return true;
+  }
+
+ private:
+  enum class wstate { running, waiting, granted, done };
+
+  wstate& at(int pid) { return state_[static_cast<std::size_t>(pid)]; }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<wstate> state_;
+};
+
+struct explore_outcome {
+  bool deadlocked = false;
+  std::string schedule;  // the prefix that was driven, as pid digits
+};
+
+// Runs `scripts[pid](proc)` for each pid under the given schedule prefix;
+// after the prefix, completes round-robin.  `completion_budget` bounds
+// post-prefix steps per process; exceeding it reports deadlock (for
+// starvation-free algorithms this only fires on genuine lost-wakeup bugs).
+//
+// `probe`, if given, is invoked after every granted step while all
+// processes are parked — i.e. at a global quiescent point between atomic
+// statements.  This is where tests check *state invariants* in the
+// paper's Section-2 style ("a state assertion is an invariant iff it
+// holds in each state of every history"): the probe sees every state of
+// the explored history.  It must not touch platform variables through a
+// gated proc (use debug accessors / raw reads).
+inline explore_outcome run_stepped(
+    std::vector<std::function<void(sim_platform::proc&)>> scripts,
+    const std::vector<int>& prefix, long completion_budget = 200000,
+    const std::function<void()>& probe = {}) {
+  const int n = static_cast<int>(scripts.size());
+  step_scheduler sched(n);
+  process_set<sim_platform> procs(n, cost_model::none);
+  std::vector<std::thread> threads;
+  threads.reserve(scripts.size());
+  for (int pid = 0; pid < n; ++pid) {
+    procs[pid].set_step_gate(&sched);
+    threads.emplace_back([&, pid] {
+      try {
+        scripts[static_cast<std::size_t>(pid)](procs[pid]);
+      } catch (const process_failed&) {
+        // Injected or recovery-time crash: the worker just stops.
+      } catch (...) {
+        // Scripts communicate assertion failures through captured flags;
+        // any other exception must not escape the thread.
+      }
+      sched.retire(pid);
+    });
+  }
+
+  explore_outcome out;
+  for (int pid : prefix) {
+    out.schedule.push_back(static_cast<char>('0' + pid));
+    sched.grant(pid);  // false (already done) is fine: the step is a no-op
+    if (probe) probe();
+  }
+  // Fair completion.
+  long budget = completion_budget;
+  while (!sched.all_done()) {
+    bool progressed = false;
+    for (int pid = 0; pid < n && budget > 0; ++pid) {
+      if (!sched.done(pid)) {
+        sched.grant(pid);
+        if (probe) probe();
+        --budget;
+        progressed = true;
+      }
+    }
+    if (!progressed || budget <= 0) {
+      out.deadlocked = !sched.all_done();
+      break;
+    }
+  }
+  if (out.deadlocked) {
+    // Unblock stuck workers so their threads can be joined: mark their
+    // procs failed, then grant until everyone retires.
+    for (int pid = 0; pid < n; ++pid) procs[pid].fail();
+    while (!sched.all_done()) {
+      for (int pid = 0; pid < n; ++pid) {
+        if (!sched.done(pid)) sched.grant(pid);
+      }
+    }
+  }
+  for (auto& t : threads) t.join();
+  return out;
+}
+
+// Enumerate every schedule prefix in {0..nprocs-1}^depth, invoking
+// `make_run()` to build fresh scripts per schedule and `verify(outcome)`
+// after each run.  Returns the number of schedules explored.
+//
+// make_run: () -> vector<function<void(proc&)>>    (fresh state each call)
+// verify:   (const explore_outcome&) -> void        (assert inside)
+template <class MakeRun, class Verify>
+long explore_all(int nprocs, int depth, MakeRun make_run, Verify verify) {
+  KEX_CHECK_MSG(nprocs >= 1 && depth >= 0 && depth <= 24,
+                "explore_all: bad parameters");
+  std::vector<int> prefix(static_cast<std::size_t>(depth), 0);
+  long runs = 0;
+  for (;;) {
+    auto outcome = run_stepped(make_run(), prefix);
+    verify(outcome);
+    ++runs;
+    // Next prefix (odometer).
+    int i = depth - 1;
+    while (i >= 0 && prefix[static_cast<std::size_t>(i)] == nprocs - 1)
+      prefix[static_cast<std::size_t>(i--)] = 0;
+    if (i < 0) break;
+    ++prefix[static_cast<std::size_t>(i)];
+  }
+  return runs;
+}
+
+}  // namespace kex

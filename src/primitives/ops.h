@@ -1,0 +1,44 @@
+// Synchronization primitives from the paper, expressed over a Platform.
+//
+// fetch_and_increment / compare_and_swap / test_and_set map directly onto
+// the platform variable API.  The one primitive that needs emulation is the
+// *range-checked* fetch-and-increment assumed by the fast-path algorithm
+// (paper, footnote 2): "fetch_and_increment(X,-1) does not change X if
+// executed when X is 0".  We emulate it with a bounded CAS loop; the paper
+// notes that removing the primitive assumption costs only a small constant
+// factor, and the RMR accounting charges each CAS attempt, so measured
+// costs include the emulation honestly.
+#pragma once
+
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+// Saturating decrement: atomically, if X > 0 then X := X-1 and the old
+// value is returned; if X == 0, X is unchanged and 0 is returned.
+// Equivalent to the paper's fetch_and_increment(X,-1) with no range error.
+template <Platform P>
+int fetch_and_decrement_floor0(typename P::template var<int>& x,
+                               typename P::proc& p) {
+  for (;;) {
+    int old = x.read(p);
+    if (old <= 0) return 0;
+    if (x.compare_exchange(p, old, old - 1)) return old;
+  }
+}
+
+// test_and_set over a platform int variable used as a boolean: returns the
+// *previous* value (true means the bit was already set, i.e. the
+// test-and-set "failed" in the renaming algorithm's sense).
+template <Platform P>
+bool test_and_set(typename P::template var<int>& bit, typename P::proc& p) {
+  return bit.exchange(p, 1) != 0;
+}
+
+template <Platform P>
+void clear_bit(typename P::template var<int>& bit, typename P::proc& p) {
+  bit.write(p, 0);
+}
+
+}  // namespace kex

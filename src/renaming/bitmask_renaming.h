@@ -1,0 +1,71 @@
+// Long-lived renaming from compare-and-swap on a bitmask — the "systems"
+// counterpart to Figure 7.
+//
+// Where Figure 7 test-and-sets k-1 individual bits (one remote reference
+// per probed name), a 64-wide CAS claims a free name in one shot: read the
+// mask, pick the lowest clear bit, CAS it in.  Same guarantees as Figure 7
+// (long-lived, exactly k names, unique among concurrent holders given ≤ k
+// participants); different primitive (CAS vs TAS) and contention profile
+// (all traffic on one word — fine for the k ≤ 64 regime this library
+// targets, and a deliberate ablation point against Figure 7's per-name
+// bits: see bench_renaming).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class bitmask_renaming {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  explicit bitmask_renaming(int k) : k_(k), mask_(0) {
+    KEX_CHECK_MSG(k >= 1 && k <= 64, "bitmask_renaming requires 1 <= k <= 64");
+  }
+
+  // Obtain a name in 0..k-1.  At most k processes may hold names at once;
+  // under that precondition a clear bit always exists and the CAS loop
+  // terminates (each failure means someone else made progress).
+  int get_name(proc& p) {
+    for (;;) {
+      std::uint64_t m = mask_.value.read(p);
+      KEX_CHECK_MSG(m != full(), "bitmask_renaming: more than k holders");
+      int name = std::countr_one(m);  // lowest clear bit
+      if (mask_.value.compare_exchange(p, m, m | (1ull << name)))
+        return name;
+    }
+  }
+
+  void put_name(proc& p, int name) {
+    KEX_CHECK_MSG(name >= 0 && name < k_, "put_name: name out of range");
+    // CAS loop: validates the bit is actually held *before* touching it
+    // (a blind decrement would corrupt the mask on misuse), and retries
+    // when other holders' bits change concurrently.
+    std::uint64_t bit = 1ull << name;
+    for (;;) {
+      std::uint64_t m = mask_.value.read(p);
+      KEX_CHECK_MSG((m & bit) != 0, "put_name: name was not held");
+      if (mask_.value.compare_exchange(p, m, m & ~bit)) return;
+    }
+  }
+
+  int k() const { return k_; }
+
+ private:
+  std::uint64_t full() const {
+    return k_ == 64 ? ~0ull : ((1ull << k_) - 1);
+  }
+
+  int k_;
+  padded<var<std::uint64_t>> mask_;
+};
+
+}  // namespace kex

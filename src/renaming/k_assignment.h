@@ -1,0 +1,91 @@
+// (N,k)-assignment: k-exclusion plus unique names from 0..k-1 (Figure 7,
+// Theorems 9 and 10).
+//
+// The k-assignment problem extends k-exclusion by requiring each process in
+// its critical section to hold a name, unique among the (at most k)
+// processes concurrently in their critical sections, drawn from exactly
+// 0..k-1.  This is the "wrapper" of the paper's resiliency methodology: a
+// wait-free k-process object implementation encased in (N,k)-assignment is
+// a (k-1)-resilient N-process object (see src/resilient/).
+//
+// Composition: any (N,k)-exclusion algorithm from src/kex plus the
+// long-lived test-and-set renaming of Figure 7.  The renaming adds at most
+// k remote references to entry and one to exit, so Theorem 3's fast-path
+// algorithm yields (N,k)-assignment at 7k + k + 2 remote references when
+// contention is at most k (Theorem 9), and Theorem 7's DSM algorithm yields
+// 14k + k + 2 (Theorem 10).
+#pragma once
+
+#include "common/check.h"
+#include "kex/algorithms.h"
+#include "kex/kexclusion.h"
+#include "platform/platform.h"
+#include "renaming/tas_renaming.h"
+
+namespace kex {
+
+template <Platform P, class KEx>
+class k_assignment {
+  using proc = typename P::proc;
+
+ public:
+  k_assignment(int n, int k, int pid_space = -1)
+      : kex_(n, k, pid_space), names_(k) {}
+
+  // Entry section: returns this process's name in 0..k-1, unique among
+  // processes currently in their critical sections.
+  int acquire(proc& p) {
+    kex_.acquire(p);
+    return names_.get_name(p);
+  }
+
+  // Exit section: the name must be the one returned by the matching
+  // acquire.  (Figure 7 releases the name before the k-exclusion exit.)
+  void release(proc& p, int name) {
+    names_.put_name(p, name);
+    kex_.release(p);
+  }
+
+  int n() const { return kex_.n(); }
+  int k() const { return kex_.k(); }
+  KEx& exclusion() { return kex_; }
+
+ private:
+  KEx kex_;
+  tas_renaming<P> names_;
+};
+
+// The paper's headline configurations.
+template <Platform P>
+using cc_assignment = k_assignment<P, cc_fast<P>>;  // Theorem 9
+template <Platform P>
+using dsm_assignment = k_assignment<P, dsm_fast<P>>;  // Theorem 10
+
+// RAII session: acquire on construction, release on destruction, exposing
+// the assigned name.  Swallows process_failed in the destructor — a
+// crashed process does not execute its exit section.
+template <Platform P, class KEx>
+class name_session {
+ public:
+  name_session(k_assignment<P, KEx>& a, typename P::proc& p)
+      : a_(a), p_(p), name_(a.acquire(p)) {}
+
+  name_session(const name_session&) = delete;
+  name_session& operator=(const name_session&) = delete;
+
+  ~name_session() {
+    try {
+      a_.release(p_, name_);
+    } catch (const process_failed&) {
+    }
+  }
+
+  int name() const { return name_; }
+
+ private:
+  k_assignment<P, KEx>& a_;
+  typename P::proc& p_;
+  int name_;
+};
+
+}  // namespace kex

@@ -1,0 +1,121 @@
+// One-shot renaming from reads and writes only: the grid-of-splitters
+// algorithm (Moir & Anderson, reference [13]; lineage Attiya et al. [3],
+// Borowsky & Gafni [5]).
+//
+// Trade-offs vs. Figure 7 (tas_renaming): no test-and-set required — only
+// atomic read/write — at the price of (a) a name space of k(k+1)/2
+// instead of exactly k and (b) being *one-shot*: each process may obtain
+// one name per epoch; the grid can be reset only while no names are held.
+// Making a read/write splitter grid long-lived requires substantially more
+// machinery (the subject of [13] itself): with naive per-splitter reset, a
+// capture race can leave a splitter marked busy with no owner, deflecting
+// every later process toward the unprotected diagonal and duplicating the
+// boundary name — a failure our chaos tests reproduce readily.  The
+// library therefore ships Figure 7's test-and-set algorithm as the
+// long-lived solution and this grid as the weaker-primitive, one-shot
+// alternative.
+//
+// Structure: a triangular grid of *splitters* at positions (r,d) with
+// r+d <= k-1.  Each splitter has a process-id variable X and a bit Y and
+// classifies each arriving process as stop / right / down:
+//
+//     X := p
+//     if Y then go right
+//     else Y := true
+//          if X = p then STOP (name = position)
+//          else go down
+//
+// Of the processes that enter a splitter, at most one stops, not all can
+// go right, and not all can go down; with at most k processes per epoch a
+// process stops after at most k-1 moves, at the latest on the r+d = k-1
+// diagonal, which at most one process per epoch reaches on each path
+// class.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class splitter_renaming {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  explicit splitter_renaming(int k) : k_(k) {
+    KEX_CHECK_MSG(k >= 1, "splitter_renaming requires k >= 1");
+    grid_ = std::vector<splitter>(
+        static_cast<std::size_t>(k * (k + 1) / 2));
+  }
+
+  // Number of distinct names this algorithm may hand out: k(k+1)/2.
+  int name_space() const { return k_ * (k_ + 1) / 2; }
+  int k() const { return k_; }
+
+  // Obtain a name in 0..name_space()-1.  At most k processes may
+  // participate per epoch, one name each.
+  int get_name(proc& p) {
+    int r = 0, d = 0;
+    while (r + d < k_ - 1) {
+      splitter& s = at(r, d);
+      s.x.value.write(p, p.id);
+      if (s.y.value.read(p) != 0) {
+        ++r;  // right
+        continue;
+      }
+      s.y.value.write(p, 1);
+      if (s.x.value.read(p) == p.id) return name_of(r, d);  // stop
+      ++d;  // down
+    }
+    // Diagonal boundary: at most one process per epoch arrives at each
+    // boundary position, so the position itself is the name.
+    return name_of(r, d);
+  }
+
+  // Reset for a new epoch.  May only be called while no process is inside
+  // get_name and no name is in use — e.g. between phases of a computation.
+  void reset(proc& p) {
+    for (auto& s : grid_) {
+      s.x.value.write(p, -1);
+      s.y.value.write(p, 0);
+    }
+  }
+
+  // Translate a name back to its grid position (r, d) — handy for tests
+  // and for diagnostics.
+  std::pair<int, int> position_of(int name) const {
+    KEX_CHECK_MSG(name >= 0 && name < name_space(),
+                  "position_of: name out of range");
+    int s = 0;
+    while ((s + 1) * (s + 2) / 2 <= name) ++s;
+    int r = name - s * (s + 1) / 2;
+    return {r, s - r};
+  }
+
+ private:
+  struct splitter {
+    padded<var<int>> x{-1};
+    padded<var<int>> y{0};
+  };
+
+  // Diagonal enumeration: all positions with r+d = s precede r+d = s+1.
+  int name_of(int r, int d) const {
+    int s = r + d;
+    return s * (s + 1) / 2 + r;
+  }
+
+  splitter& at(int r, int d) {
+    return grid_[static_cast<std::size_t>(name_of(r, d))];
+  }
+
+  int k_;
+  std::vector<splitter> grid_;
+};
+
+}  // namespace kex

@@ -1,0 +1,64 @@
+// Figure 7's renaming core: long-lived renaming from test-and-set.
+//
+// Context (paper, Section 4): at most k processes concurrently hold names;
+// each must obtain a unique name from exactly 0..k-1 and be able to release
+// and re-obtain names repeatedly ("long-lived" — the first such algorithm).
+// A process test-and-sets bits X[0], X[1], ... in order until one succeeds;
+// bit j corresponds to name j.  The paper shows that if a process is about
+// to test X[i], some j in i..k-1 has !X[j], so a process that has failed on
+// X[0..k-2] may take name k-1 outright — at most one process ever reaches
+// it, making a (k-1)-th bit unnecessary.  Releasing a name clears its bit.
+// Cost: at most k remote references to obtain, one to release.
+//
+// Correct use REQUIRES the caller to bound concurrency to k, e.g. by
+// calling inside the critical section of an (N,k)-exclusion object — that
+// combination is (N,k)-assignment (k_assignment.h).
+#pragma once
+
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+#include "primitives/ops.h"
+
+namespace kex {
+
+template <Platform P>
+class tas_renaming {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  explicit tas_renaming(int k) : k_(k) {
+    KEX_CHECK_MSG(k >= 1, "tas_renaming requires k >= 1");
+    if (k > 1) bits_ = std::vector<padded<var<int>>>(
+        static_cast<std::size_t>(k - 1));
+  }
+
+  // Obtain a name in 0..k-1.  At most k processes may hold names at once.
+  int get_name(proc& p) {
+    int name = 0;
+    while (name < k_ - 1 &&
+           test_and_set<P>(bits_[static_cast<std::size_t>(name)].value, p)) {
+      ++name;
+    }
+    return name;  // name == k-1 needs no bit: at most one process gets here
+  }
+
+  // Release a previously-obtained name.
+  void put_name(proc& p, int name) {
+    KEX_CHECK_MSG(name >= 0 && name < k_, "put_name: name out of range");
+    if (name < k_ - 1)
+      clear_bit<P>(bits_[static_cast<std::size_t>(name)].value, p);
+  }
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::vector<padded<var<int>>> bits_;  // X[0..k-2], bit j guards name j
+};
+
+}  // namespace kex

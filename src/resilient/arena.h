@@ -1,0 +1,51 @@
+// Per-process arenas for the dynamic wait-free constructions.
+//
+// The universal construction and the snapshot allocate immutable records
+// that other processes may still be reading when the allocator would like
+// to free them.  Rather than a full SMR scheme (hazard pointers / epochs),
+// each process appends its allocations to its *own* arena — no cross-
+// process synchronization, hence no step of any operation can block on a
+// crashed process (the property the resiliency methodology needs).  All
+// memory is reclaimed when the owning object is destroyed.  This trades
+// memory growth proportional to the number of operations for simplicity;
+// the paper's algorithms themselves are O(1)-space, and bounded-memory
+// versions of the wait-free cores are orthogonal future work (noted in
+// DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+
+namespace kex {
+
+template <class T>
+class pid_arena {
+ public:
+  explicit pid_arena(int pid_space)
+      : lanes_(static_cast<std::size_t>(pid_space)) {
+    KEX_CHECK_MSG(pid_space >= 1, "pid_arena requires pid_space >= 1");
+  }
+
+  // Allocate a T owned by process `pid`.  Only `pid`'s thread may call
+  // this with its id, so the lane needs no locking.
+  template <class... Args>
+  T* alloc(int pid, Args&&... args) {
+    auto& lane = lanes_[static_cast<std::size_t>(pid)].value;
+    lane.push_back(std::make_unique<T>(std::forward<Args>(args)...));
+    return lane.back().get();
+  }
+
+  std::size_t allocated() const {
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.value.size();
+    return total;
+  }
+
+ private:
+  std::vector<padded<std::vector<std::unique_ptr<T>>>> lanes_;
+};
+
+}  // namespace kex

@@ -1,0 +1,160 @@
+// Additional (k-1)-resilient objects derived from the methodology: a LIFO
+// stack and a small key-value map via the universal construction, and an
+// atomic-snapshot object via the wf_snapshot core.  Together with
+// resilient.h's counter/register/queue these show the paper's point that
+// the wrapper + wait-free-core recipe is generic ("a generic approach to
+// shared object design in which resiliency can be tuned", Section 5).
+#pragma once
+
+#include <array>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "resilient/resilient.h"
+#include "resilient/wf_snapshot.h"
+
+namespace kex {
+
+// A (k-1)-resilient LIFO stack of longs.
+template <Platform P, class KEx = cc_fast<P>>
+class resilient_stack {
+  using proc = typename P::proc;
+  using state = std::vector<long>;
+
+  struct op {
+    enum kind_t : int { push, pop } kind = push;
+    long value = 0;
+  };
+  using ret = std::pair<bool, long>;
+
+ public:
+  resilient_stack(int n, int k, int pid_space = -1)
+      : wrapper_(n, k, pid_space),
+        core_(k, pid_space < 0 ? n : pid_space, state{},
+              [](state& s, const op& o) -> ret {
+                if (o.kind == op::push) {
+                  s.push_back(o.value);
+                  return {true, o.value};
+                }
+                if (s.empty()) return {false, 0};
+                long v = s.back();
+                s.pop_back();
+                return {true, v};
+              }) {}
+
+  void push(proc& p, long v) {
+    wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::push, v});
+    });
+  }
+
+  // Returns (true, value) or (false, 0) when empty.
+  std::pair<bool, long> pop(proc& p) {
+    return wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::pop, 0});
+    });
+  }
+
+  std::size_t size(proc& p) { return core_.snapshot(p).size(); }
+
+  int n() const { return wrapper_.n(); }
+  int k() const { return wrapper_.k(); }
+
+ private:
+  resilient_wrapper<P, KEx> wrapper_;
+  universal<P, state, op, ret> core_;
+};
+
+// A (k-1)-resilient key-value map (long -> long): put / get / erase, all
+// linearizable.  State copies are O(size) per operation — fine for the
+// small coordination maps this is meant for (leases, ownership tables),
+// and documented as the universal construction's cost model.
+template <Platform P, class KEx = cc_fast<P>>
+class resilient_kv {
+  using proc = typename P::proc;
+  using state = std::map<long, long>;
+
+  struct op {
+    enum kind_t : int { put, get, erase } kind = get;
+    long key = 0;
+    long value = 0;
+  };
+  using ret = std::pair<bool, long>;  // (found/had, previous value)
+
+ public:
+  resilient_kv(int n, int k, int pid_space = -1)
+      : wrapper_(n, k, pid_space),
+        core_(k, pid_space < 0 ? n : pid_space, state{},
+              [](state& s, const op& o) -> ret {
+                auto it = s.find(o.key);
+                bool had = it != s.end();
+                long prev = had ? it->second : 0;
+                if (o.kind == op::put) s[o.key] = o.value;
+                if (o.kind == op::erase && had) s.erase(it);
+                return {had, prev};
+              }) {}
+
+  // Returns the previous value if the key existed.
+  std::pair<bool, long> put(proc& p, long key, long value) {
+    return wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::put, key, value});
+    });
+  }
+
+  std::pair<bool, long> get(proc& p, long key) {
+    return wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::get, key, 0});
+    });
+  }
+
+  std::pair<bool, long> erase(proc& p, long key) {
+    return wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::erase, key, 0});
+    });
+  }
+
+  std::size_t size(proc& p) { return core_.snapshot(p).size(); }
+
+  int n() const { return wrapper_.n(); }
+  int k() const { return wrapper_.k(); }
+
+ private:
+  resilient_wrapper<P, KEx> wrapper_;
+  universal<P, state, op, ret> core_;
+};
+
+// A (k-1)-resilient atomic snapshot object: N processes, but only k
+// concurrent sessions; each session updates the slot of its *name* and
+// can take a linearizable scan.  Built on the direct O(k²) wait-free
+// snapshot core rather than the universal construction — the cheaper
+// route when the object already has a wait-free k-process algorithm.
+template <Platform P, class KEx = cc_fast<P>>
+class resilient_snapshot {
+  using proc = typename P::proc;
+
+ public:
+  resilient_snapshot(int n, int k, int pid_space = -1)
+      : wrapper_(n, k, pid_space), core_(k, pid_space < 0 ? n : pid_space) {}
+
+  // Publish `v` under the session's name and return the post-update scan.
+  std::vector<long> publish_and_scan(proc& p, long v) {
+    return wrapper_.with_name(p, [&](int name) {
+      core_.update(p, name, v);
+      return core_.scan(p);
+    });
+  }
+
+  std::vector<long> scan(proc& p) {
+    return wrapper_.with_name(p, [&](int) { return core_.scan(p); });
+  }
+
+  int n() const { return wrapper_.n(); }
+  int k() const { return wrapper_.k(); }
+
+ private:
+  resilient_wrapper<P, KEx> wrapper_;
+  wf_snapshot<P> core_;
+};
+
+}  // namespace kex

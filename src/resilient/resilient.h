@@ -1,0 +1,192 @@
+// The paper's headline methodology (Section 1): a (k-1)-resilient,
+// N-process shared object = a wait-free k-process core encased in an
+// (N,k)-assignment wrapper.
+//
+// "This wrapper permits only k processes to enter the wait-free
+//  implementation, and assigns entering processes unique names from a
+//  range of size k to use within that implementation.  This approach
+//  allows k-1 process failures to be tolerated.  Hence, if contention is
+//  at most k, such an implementation is effectively wait-free."
+//
+// Failure accounting: a process that crashes inside the wrapper (entry
+// section, core operation, or exit section) permanently consumes one of
+// the k concurrency slots — the k-exclusion algorithms tolerate up to k-1
+// such failures while guaranteeing progress to everyone else, and the core
+// is wait-free for the processes inside, so no operation ever waits on the
+// crashed process.  The (k)-th failure exhausts the object's resilience,
+// exactly as the paper specifies.
+//
+// `resilient<P, KEx>` exposes the raw session API (enter, get a name, run
+// a functor, exit); the concrete objects below (counter, register, queue)
+// show the intended end-user shape.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+#include "kex/algorithms.h"
+#include "platform/platform.h"
+#include "renaming/k_assignment.h"
+#include "resilient/universal.h"
+#include "resilient/wf_counter.h"
+
+namespace kex {
+
+// The bare wrapper: runs `f(name)` while holding a unique name in 0..k-1.
+// KEx defaults to the paper's best cache-coherent algorithm (Theorem 3),
+// making the whole object Theorem 9's (N,k)-assignment at its boundary.
+template <Platform P, class KEx = cc_fast<P>>
+class resilient_wrapper {
+  using proc = typename P::proc;
+
+ public:
+  resilient_wrapper(int n, int k, int pid_space = -1)
+      : asg_(n, k, pid_space) {}
+
+  // Execute f(name) inside the wrapper.  If the calling process is
+  // failure-injected mid-operation, the session guard leaks the slot —
+  // the crash semantics the methodology is built around.
+  template <class F>
+  auto with_name(proc& p, F&& f) {
+    name_session<P, KEx> session(asg_, p);
+    return std::forward<F>(f)(session.name());
+  }
+
+  int n() const { return asg_.n(); }
+  int k() const { return asg_.k(); }
+  k_assignment<P, KEx>& assignment() { return asg_; }
+
+ private:
+  k_assignment<P, KEx> asg_;
+};
+
+// A (k-1)-resilient shared counter: wf_counter core + wrapper.
+template <Platform P, class KEx = cc_fast<P>>
+class resilient_counter {
+  using proc = typename P::proc;
+
+ public:
+  resilient_counter(int n, int k, int pid_space = -1)
+      : wrapper_(n, k, pid_space), core_(k) {}
+
+  void add(proc& p, long delta) {
+    wrapper_.with_name(p, [&](int name) {
+      core_.add(p, name, delta);
+      return 0;
+    });
+  }
+
+  long read(proc& p) {
+    return wrapper_.with_name(p, [&](int) { return core_.read(p); });
+  }
+
+  int n() const { return wrapper_.n(); }
+  int k() const { return wrapper_.k(); }
+
+ private:
+  resilient_wrapper<P, KEx> wrapper_;
+  wf_counter<P> core_;
+};
+
+// A (k-1)-resilient FIFO queue of longs, built on the universal
+// construction — the generic route the paper's Section 5 sketches.
+template <Platform P, class KEx = cc_fast<P>>
+class resilient_queue {
+  using proc = typename P::proc;
+  using state = std::deque<long>;
+
+  struct op {
+    enum kind_t : int { enqueue, dequeue } kind = enqueue;
+    long value = 0;
+  };
+
+  // Result: (had_value, value) for dequeue; (true, pushed) for enqueue.
+  using ret = std::pair<bool, long>;
+
+ public:
+  resilient_queue(int n, int k, int pid_space = -1)
+      : wrapper_(n, k, pid_space),
+        core_(k, pid_space < 0 ? n : pid_space, state{},
+              [](state& s, const op& o) -> ret {
+                if (o.kind == op::enqueue) {
+                  s.push_back(o.value);
+                  return {true, o.value};
+                }
+                if (s.empty()) return {false, 0};
+                long v = s.front();
+                s.pop_front();
+                return {true, v};
+              }) {}
+
+  void enqueue(proc& p, long v) {
+    wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::enqueue, v});
+    });
+  }
+
+  // Returns (true, value) or (false, 0) when empty.
+  std::pair<bool, long> dequeue(proc& p) {
+    return wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::dequeue, 0});
+    });
+  }
+
+  std::size_t size(proc& p) { return core_.snapshot(p).size(); }
+
+  int n() const { return wrapper_.n(); }
+  int k() const { return wrapper_.k(); }
+
+ private:
+  resilient_wrapper<P, KEx> wrapper_;
+  universal<P, state, op, ret> core_;
+};
+
+// A (k-1)-resilient linearizable register (read/write/fetch-and-add) via
+// the universal construction.
+template <Platform P, class KEx = cc_fast<P>>
+class resilient_register {
+  using proc = typename P::proc;
+
+  struct op {
+    enum kind_t : int { write, fetch_add, read } kind = read;
+    long value = 0;
+  };
+
+ public:
+  resilient_register(int n, int k, long initial = 0, int pid_space = -1)
+      : wrapper_(n, k, pid_space),
+        core_(k, pid_space < 0 ? n : pid_space, initial,
+              [](long& s, const op& o) -> long {
+                long old = s;
+                if (o.kind == op::write) s = o.value;
+                if (o.kind == op::fetch_add) s += o.value;
+                return old;
+              }) {}
+
+  void write(proc& p, long v) {
+    wrapper_.with_name(
+        p, [&](int name) { return core_.apply(p, name, op{op::write, v}); });
+  }
+
+  long fetch_add(proc& p, long d) {
+    return wrapper_.with_name(p, [&](int name) {
+      return core_.apply(p, name, op{op::fetch_add, d});
+    });
+  }
+
+  long read(proc& p) {
+    return wrapper_.with_name(
+        p, [&](int name) { return core_.apply(p, name, op{op::read, 0}); });
+  }
+
+  int n() const { return wrapper_.n(); }
+  int k() const { return wrapper_.k(); }
+
+ private:
+  resilient_wrapper<P, KEx> wrapper_;
+  universal<P, long, op, long> core_;
+};
+
+}  // namespace kex

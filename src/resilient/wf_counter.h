@@ -1,0 +1,55 @@
+// A wait-free k-process counter — the simplest "wait-free core" for the
+// paper's resiliency methodology (see resilient.h).
+//
+// The object is operated by at most k concurrent sessions holding unique
+// names 0..k-1 (provided by (N,k)-assignment).  Each name owns a padded
+// slot; increments hit only the caller's slot, reads sum all k slots.
+// Every operation finishes in a bounded number of its own steps regardless
+// of what other processes do — wait-free for k processes.
+//
+// Name slots are reused by *different* physical processes over time, so
+// slot updates use fetch_add rather than plain writes: uniqueness of
+// concurrent holders makes this single-writer at any instant, but the
+// atomic update also makes handoff between successive holders safe without
+// further argument.
+#pragma once
+
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class wf_counter {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  explicit wf_counter(int k) : k_(k) {
+    KEX_CHECK_MSG(k >= 1, "wf_counter requires k >= 1");
+    slots_ = std::vector<padded<var<long>>>(static_cast<std::size_t>(k));
+  }
+
+  void add(proc& p, int name, long delta) {
+    KEX_CHECK_MSG(name >= 0 && name < k_, "wf_counter: bad name");
+    slots_[static_cast<std::size_t>(name)].value.fetch_add(p, delta);
+  }
+
+  long read(proc& p) {
+    long total = 0;
+    for (auto& s : slots_) total += s.value.read(p);
+    return total;
+  }
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::vector<padded<var<long>>> slots_;
+};
+
+}  // namespace kex

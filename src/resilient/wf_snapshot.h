@@ -1,0 +1,113 @@
+// A wait-free k-slot single-writer atomic snapshot (Afek et al. style),
+// the third "wait-free core" shipped with the resiliency methodology.
+//
+// Each name in 0..k-1 owns one slot.  update(name, v) installs an
+// immutable record carrying the value, a per-slot sequence number, and an
+// *embedded scan* taken just before installing.  scan() double-collects
+// the k slot pointers: if two consecutive collects are identical it
+// returns the values directly; otherwise it tracks which slots moved, and
+// once some slot has moved twice during its interval it borrows that
+// slot's embedded scan — which was taken entirely inside the scanner's
+// interval, hence linearizable.  Both operations finish in O(k²) steps
+// regardless of other processes: wait-free for k processes.
+//
+// Slots are keyed by *name*; at most one process holds a name at a time
+// (guaranteed by the enclosing k-assignment), which is exactly the
+// single-writer-per-slot regime the construction needs, even as names pass
+// between physical processes.
+#pragma once
+
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+#include "resilient/arena.h"
+
+namespace kex {
+
+template <Platform P>
+class wf_snapshot {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+  struct record {
+    long value = 0;
+    long seq = 0;
+    std::vector<long> view;  // embedded scan; empty for initial records
+    record(long v, long s, std::vector<long> vw)
+        : value(v), seq(s), view(std::move(vw)) {}
+  };
+
+ public:
+  wf_snapshot(int k, int pid_space)
+      : k_(k), arena_(pid_space), slots_(static_cast<std::size_t>(k)) {
+    KEX_CHECK_MSG(k >= 1 && pid_space >= 1, "wf_snapshot: bad parameters");
+    typename P::proc boot{0};
+    for (int i = 0; i < k; ++i) {
+      record* r = arena_.alloc(/*pid=*/0, 0L, 0L, std::vector<long>{});
+      slots_[static_cast<std::size_t>(i)].value.write(boot, r);
+    }
+  }
+
+  // Install `v` in `name`'s slot.  The caller must hold `name`.
+  void update(proc& p, int name, long v) {
+    KEX_CHECK_MSG(name >= 0 && name < k_, "wf_snapshot: bad name");
+    std::vector<long> embedded = scan(p);
+    record* cur =
+        slots_[static_cast<std::size_t>(name)].value.read(p);
+    record* next = arena_.alloc(p.id, v, cur->seq + 1, std::move(embedded));
+    slots_[static_cast<std::size_t>(name)].value.write(p, next);
+  }
+
+  // A linearizable snapshot of all k slot values.
+  std::vector<long> scan(proc& p) {
+    std::vector<const record*> first(static_cast<std::size_t>(k_));
+    std::vector<int> moved(static_cast<std::size_t>(k_), 0);
+    collect(p, first);
+    for (;;) {
+      std::vector<const record*> second(static_cast<std::size_t>(k_));
+      collect(p, second);
+      if (first == second) {
+        std::vector<long> out(static_cast<std::size_t>(k_));
+        for (int i = 0; i < k_; ++i)
+          out[static_cast<std::size_t>(i)] =
+              second[static_cast<std::size_t>(i)]->value;
+        return out;
+      }
+      for (int i = 0; i < k_; ++i) {
+        auto idx = static_cast<std::size_t>(i);
+        if (first[idx] != second[idx]) {
+          if (++moved[idx] >= 2 && !second[idx]->view.empty()) {
+            // This slot completed a full update inside our interval; its
+            // embedded scan is a valid snapshot for us too.
+            return second[idx]->view;
+          }
+        }
+      }
+      first = std::move(second);
+    }
+  }
+
+  // Read a single slot (regular read, always wait-free).
+  long read_slot(proc& p, int name) {
+    KEX_CHECK_MSG(name >= 0 && name < k_, "wf_snapshot: bad name");
+    return slots_[static_cast<std::size_t>(name)].value.read(p)->value;
+  }
+
+  int k() const { return k_; }
+
+ private:
+  void collect(proc& p, std::vector<const record*>& out) {
+    for (int i = 0; i < k_; ++i)
+      out[static_cast<std::size_t>(i)] =
+          slots_[static_cast<std::size_t>(i)].value.read(p);
+  }
+
+  int k_;
+  pid_arena<record> arena_;
+  std::vector<padded<var<record*>>> slots_;
+};
+
+}  // namespace kex

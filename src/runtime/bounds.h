@@ -1,0 +1,54 @@
+// The paper's stated remote-reference bounds, as code.
+//
+// Tests assert measured per-acquisition remote-reference counts against
+// these; the benchmark binaries print "paper bound" columns from them.
+// All are per matching entry+exit pair.
+#pragma once
+
+#include "common/math.h"
+
+namespace kex::bounds {
+
+// log2⌈N/k⌉ as the paper uses it (tree depth over ⌈N/k⌉ leaf groups).
+inline int tree_depth(int n, int k) { return ceil_log2(ceil_div(n, k)); }
+
+// Theorem 1: inductive CC chain.
+inline int thm1_cc_inductive(int n, int k) { return 7 * (n - k); }
+
+// Theorem 2: CC tree of (2k,k) blocks.
+inline int thm2_cc_tree(int n, int k) { return 7 * k * tree_depth(n, k); }
+
+// Theorem 3: CC fast path — at contention <= k, and beyond.
+inline int thm3_cc_fast_low(int k) { return 7 * k + 2; }
+inline int thm3_cc_fast_high(int n, int k) {
+  return 7 * k * (tree_depth(n, k) + 1) + 2;
+}
+
+// Theorem 4: CC graceful degradation at contention c.
+inline int thm4_cc_graceful(int c, int k) {
+  return ceil_div(c, k) * (7 * k + 2);
+}
+
+// Theorem 5: inductive DSM chain (Figure 6).
+inline int thm5_dsm_inductive(int n, int k) { return 14 * (n - k); }
+
+// Theorem 6: DSM tree.
+inline int thm6_dsm_tree(int n, int k) { return 14 * k * tree_depth(n, k); }
+
+// Theorem 7: DSM fast path.
+inline int thm7_dsm_fast_low(int k) { return 14 * k + 2; }
+inline int thm7_dsm_fast_high(int n, int k) {
+  return 14 * k * (tree_depth(n, k) + 1) + 2;
+}
+
+// Theorem 8: DSM graceful degradation at contention c.
+inline int thm8_dsm_graceful(int c, int k) {
+  return ceil_div(c, k) * (14 * k + 2);
+}
+
+// Theorems 9/10: k-assignment adds at most k (entry) + 1 (exit) remote
+// references to the underlying fast-path exclusion.
+inline int thm9_cc_assignment_low(int k) { return 7 * k + k + 2; }
+inline int thm10_dsm_assignment_low(int k) { return 14 * k + k + 2; }
+
+}  // namespace kex::bounds

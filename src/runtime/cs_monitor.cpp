@@ -1,0 +1,3 @@
+#include "runtime/cs_monitor.h"
+
+// cs_monitor is header-only; this translation unit anchors the library.

@@ -1,0 +1,51 @@
+// Critical-section occupancy monitor: the safety oracle for every test and
+// benchmark.
+//
+// Workers call enter()/exit() around their critical sections; the monitor
+// tracks instantaneous occupancy and the high-water mark.  It deliberately
+// uses raw std::atomic (not platform variables) so that monitoring never
+// perturbs the RMR accounting of the algorithm under test.  A process that
+// fails inside its critical section never calls exit() — its occupancy
+// deliberately stays counted, because a crashed holder really does consume
+// one of the k slots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace kex {
+
+class cs_monitor {
+ public:
+  void enter() {
+    int now = occupancy_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int seen = max_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed))
+      ;
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void exit() { occupancy_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  int occupancy() const {
+    return occupancy_.load(std::memory_order_acquire);
+  }
+  int max_occupancy() const { return max_.load(std::memory_order_acquire); }
+  std::uint64_t entries() const {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    occupancy_.store(0);
+    max_.store(0);
+    entries_.store(0);
+  }
+
+ private:
+  std::atomic<int> occupancy_{0};
+  std::atomic<int> max_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace kex

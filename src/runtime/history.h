@@ -1,0 +1,193 @@
+// Histories — the paper's Section-2 semantic objects, recorded and checked.
+//
+// "A history of a program is a sequence t0 -s0-> t1 -s1-> ..." ; the
+// paper's properties (k-exclusion, starvation-freedom) are predicates over
+// histories.  This module records the *section transitions* of each
+// process (the observable skeleton of a history):
+//
+//     try_enter  — the process begins its entry section
+//     enter_cs   — it reaches its critical section
+//     exit_cs    — it begins its exit section
+//     leave      — it returns to its noncritical section
+//     crash      — it fails (executes no further statements)
+//
+// and checks, offline:
+//   * well-formedness: each process's events follow the cycle
+//     try_enter (enter_cs (exit_cs (leave | crash) | crash) | crash);
+//   * k-exclusion: at every point, |{p : in CS}| <= k, counting crashed
+//     critical-section holders forever (they never exit);
+//   * starvation-freedom (for complete runs): every try_enter by a
+//     process that never crashes is followed by enter_cs;
+//   * a fairness metric: for each acquisition, the number of *later*
+//     arrivals that entered the CS first (0 for FIFO algorithms such as
+//     the ticket lock; bounded but nonzero for the paper's algorithms,
+//     which guarantee starvation-freedom, not FIFO).
+//
+// Recording uses a global append-only log under a mutex: simple, and the
+// serialization only orders events that were concurrent anyway (any
+// interleaving consistent with real time is a valid history).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kex {
+
+enum class hevent : std::uint8_t {
+  try_enter,
+  enter_cs,
+  exit_cs,
+  leave,
+  crash,
+};
+
+struct history_entry {
+  int pid;
+  hevent ev;
+};
+
+class history_recorder {
+ public:
+  explicit history_recorder(std::size_t reserve = 1 << 16) {
+    log_.reserve(reserve);
+  }
+
+  void record(int pid, hevent ev) {
+    std::scoped_lock lk(m_);
+    log_.push_back({pid, ev});
+  }
+
+  std::vector<history_entry> snapshot() const {
+    std::scoped_lock lk(m_);
+    return log_;
+  }
+
+  void clear() {
+    std::scoped_lock lk(m_);
+    log_.clear();
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::vector<history_entry> log_;
+};
+
+struct history_report {
+  bool well_formed = true;
+  bool k_respected = true;
+  bool starvation_free = true;  // only meaningful for complete runs
+  int max_occupancy = 0;
+  long acquisitions = 0;
+  long crashes = 0;
+  // Fairness: worst/total number of later arrivals overtaking a waiter.
+  long max_overtakes = 0;
+  double mean_overtakes = 0.0;
+  std::string problem;  // first violation, human-readable
+};
+
+// Check a recorded history against the paper's properties for capacity k.
+inline history_report check_history(const std::vector<history_entry>& h,
+                                    int k) {
+  KEX_CHECK_MSG(k >= 1, "check_history: k must be >= 1");
+  history_report rep;
+
+  enum class phase { ncs, trying, cs, exiting, crashed };
+  struct pstate {
+    phase ph = phase::ncs;
+    long arrival = -1;  // log index of current try_enter
+    long overtaken = 0; // later arrivals that entered first
+  };
+  // pid space discovered from the log.
+  int maxpid = -1;
+  for (const auto& e : h) maxpid = e.pid > maxpid ? e.pid : maxpid;
+  std::vector<pstate> st(static_cast<std::size_t>(maxpid + 1));
+
+  auto fail = [&](const std::string& why, long idx) {
+    if (rep.problem.empty())
+      rep.problem = why + " at log index " + std::to_string(idx);
+  };
+
+  int occupancy = 0;
+  long total_overtakes = 0;
+  for (long i = 0; i < static_cast<long>(h.size()); ++i) {
+    const auto& e = h[static_cast<std::size_t>(i)];
+    auto& s = st[static_cast<std::size_t>(e.pid)];
+    switch (e.ev) {
+      case hevent::try_enter:
+        if (s.ph != phase::ncs) {
+          rep.well_formed = false;
+          fail("try_enter outside noncritical section", i);
+        }
+        s.ph = phase::trying;
+        s.arrival = i;
+        s.overtaken = 0;
+        break;
+      case hevent::enter_cs:
+        if (s.ph != phase::trying) {
+          rep.well_formed = false;
+          fail("enter_cs without try_enter", i);
+        }
+        s.ph = phase::cs;
+        ++occupancy;
+        ++rep.acquisitions;
+        if (occupancy > rep.max_occupancy) rep.max_occupancy = occupancy;
+        if (occupancy > k) {
+          rep.k_respected = false;
+          fail("more than k processes in critical sections", i);
+        }
+        // Everyone still waiting with an earlier arrival got overtaken.
+        for (auto& o : st) {
+          if (&o != &s && o.ph == phase::trying && o.arrival < s.arrival)
+            ++o.overtaken;
+        }
+        if (s.overtaken > rep.max_overtakes)
+          rep.max_overtakes = s.overtaken;
+        total_overtakes += s.overtaken;
+        break;
+      case hevent::exit_cs:
+        if (s.ph != phase::cs) {
+          rep.well_formed = false;
+          fail("exit_cs outside critical section", i);
+        }
+        s.ph = phase::exiting;
+        --occupancy;
+        break;
+      case hevent::leave:
+        if (s.ph != phase::exiting) {
+          rep.well_formed = false;
+          fail("leave without exit_cs", i);
+        }
+        s.ph = phase::ncs;
+        break;
+      case hevent::crash:
+        ++rep.crashes;
+        // A crash in the CS keeps the slot occupied forever — occupancy
+        // is deliberately NOT decremented (matches the semantics: the
+        // monitor seat stays taken).
+        s.ph = phase::crashed;
+        break;
+    }
+  }
+
+  // Starvation-freedom over the complete run: nobody may end still trying.
+  for (std::size_t pid = 0; pid < st.size(); ++pid) {
+    if (st[pid].ph == phase::trying) {
+      rep.starvation_free = false;
+      if (rep.problem.empty())
+        rep.problem = "process " + std::to_string(pid) +
+                      " still in its entry section at end of history";
+    }
+  }
+  rep.mean_overtakes =
+      rep.acquisitions
+          ? static_cast<double>(total_overtakes) /
+                static_cast<double>(rep.acquisitions)
+          : 0.0;
+  return rep;
+}
+
+}  // namespace kex

@@ -1,0 +1,91 @@
+// A small Wing & Gong-style linearizability checker.
+//
+// The resilient objects claim linearizability; the differential tests
+// check sequential semantics and the conservation tests check global
+// witnesses, but neither verifies *concurrent* executions directly.  This
+// checker does, for small histories: given operation records with
+// real-time invocation/response stamps and a sequential specification, it
+// searches for a linearization — a total order of the operations that (a)
+// respects real time (if op A responded before op B was invoked, A comes
+// first) and (b) replays correctly through the specification.
+//
+// The search is exponential in the worst case; with memoization on
+// (remaining-operation set, specification state) it comfortably handles
+// the dozens-of-operations histories the tests generate.
+//
+// Spec requirements:
+//   using state_t = ...;                  // copyable, hashable via key()
+//   state_t initial() const;
+//   // Apply op i of the history; returns false if the recorded result is
+//   // impossible from this state (pruning the branch).
+//   bool apply(state_t&, const Rec&) const;
+//   std::string key(const state_t&) const;   // memoization key
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kex {
+
+// One completed operation: invocation/response timestamps from a shared
+// monotonic counter, plus whatever payload the Spec's apply understands.
+template <class Payload>
+struct lin_record {
+  Payload op;
+  std::uint64_t invoked = 0;
+  std::uint64_t responded = 0;
+};
+
+namespace detail {
+
+template <class Spec, class Payload>
+bool linearize_dfs(const Spec& spec,
+                   const std::vector<lin_record<Payload>>& h,
+                   std::uint32_t remaining,
+                   const typename Spec::state_t& state,
+                   std::unordered_set<std::string>& visited) {
+  if (remaining == 0) return true;
+  std::string memo = std::to_string(remaining) + '|' + spec.key(state);
+  if (!visited.insert(memo).second) return false;
+
+  // Candidate ops: remaining, and invoked before every other remaining
+  // op's response (no remaining op strictly precedes them in real time).
+  for (std::uint32_t i = 0; i < h.size(); ++i) {
+    if (!(remaining & (1u << i))) continue;
+    bool minimal = true;
+    for (std::uint32_t j = 0; j < h.size(); ++j) {
+      if (i == j || !(remaining & (1u << j))) continue;
+      if (h[j].responded < h[i].invoked) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+    typename Spec::state_t next = state;
+    if (!spec.apply(next, h[i])) continue;  // recorded result impossible
+    if (linearize_dfs(spec, h, remaining & ~(1u << i), next, visited))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+// True iff the history has a linearization under `spec`.
+template <class Spec, class Payload>
+bool is_linearizable(const Spec& spec,
+                     const std::vector<lin_record<Payload>>& h) {
+  KEX_CHECK_MSG(h.size() <= 31, "is_linearizable: history too large");
+  std::uint32_t all =
+      h.empty() ? 0u : ((h.size() == 31 ? 0x7fffffffu
+                                        : ((1u << h.size()) - 1)));
+  std::unordered_set<std::string> visited;
+  return detail::linearize_dfs(spec, h, all, spec.initial(), visited);
+}
+
+}  // namespace kex

@@ -1,0 +1,4 @@
+#include "runtime/process_group.h"
+
+// process_group is header-only (templates over the platform); this
+// translation unit anchors the library.

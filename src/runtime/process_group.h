@@ -1,0 +1,102 @@
+// Worker-thread harness mapping the paper's N asynchronous processes onto
+// threads.
+//
+// `process_set<P>` owns the N proc contexts; `run_workers` launches one
+// thread per listed process, releases them through a start gate (so
+// measurement intervals begin with all processes live), runs the supplied
+// body, and joins.  A body unwound by `process_failed` marks the worker
+// crashed and exits the thread — the other workers keep running, which is
+// precisely the progress property the failure-injection tests assert.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class process_set {
+ public:
+  explicit process_set(int n, cost_model m = cost_model::cc) {
+    KEX_CHECK_MSG(n >= 1, "process_set requires n >= 1");
+    for (int i = 0; i < n; ++i) procs_.emplace_back(i, m);
+  }
+
+  typename P::proc& operator[](int pid) {
+    return procs_[static_cast<std::size_t>(pid)];
+  }
+  int size() const { return static_cast<int>(procs_.size()); }
+
+ private:
+  std::deque<typename P::proc> procs_;  // deque: procs are not movable
+};
+
+// Releases all workers at once so contention windows are aligned.
+class start_gate {
+ public:
+  void open() { open_.store(true, std::memory_order_release); }
+  void wait() {
+    while (!open_.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+
+ private:
+  std::atomic<bool> open_{false};
+};
+
+struct run_result {
+  int crashed = 0;    // workers unwound by process_failed
+  int completed = 0;  // workers that ran their body to completion
+};
+
+// Runs body(proc) on one thread per pid in `pids`.  The body may throw
+// process_failed (failure injection) — counted, not propagated.  Any other
+// exception propagates after all threads are joined.
+template <Platform P, class Body>
+run_result run_workers(process_set<P>& procs, const std::vector<int>& pids,
+                       Body body) {
+  start_gate gate;
+  std::atomic<int> crashed{0}, completed{0};
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::atomic<bool> has_error{false};
+
+  threads.reserve(pids.size());
+  for (int pid : pids) {
+    threads.emplace_back([&, pid] {
+      gate.wait();
+      try {
+        body(procs[pid]);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      } catch (const process_failed&) {
+        crashed.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        if (!has_error.exchange(true)) first_error = std::current_exception();
+      }
+    });
+  }
+  gate.open();
+  for (auto& t : threads) t.join();
+  if (has_error.load()) std::rethrow_exception(first_error);
+  return run_result{crashed.load(), completed.load()};
+}
+
+// Convenience: all pids 0..n-1.
+inline std::vector<int> all_pids(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i;
+  return v;
+}
+
+// Convenience: the first c pids — the standard way the benchmarks pin
+// contention at c (the paper defines contention as the number of processes
+// outside their noncritical sections).
+inline std::vector<int> first_pids(int c) { return all_pids(c); }
+
+}  // namespace kex

@@ -1,0 +1,96 @@
+// Remote-memory-reference measurement harness — the instrument behind the
+// Table-1 and theorem-bound reproductions.
+//
+// measure_rmr runs `c` processes (contention c, in the paper's sense:
+// processes outside their noncritical sections) through `iterations`
+// acquire/CS/release cycles of an algorithm on the simulated platform and
+// reports, per matching entry+exit pair, the maximum and mean number of
+// remote references any process incurred.  That per-pair maximum is
+// exactly the quantity the paper's theorems bound ("each matching entry
+// and exit section together generate at most t remote references if
+// executed while contention is at most c").
+//
+// The harness itself performs no platform-variable accesses between the
+// counter snapshots, so the measured interval contains only algorithm
+// traffic.  Safety is asserted on the fly through a cs_monitor.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "platform/sim.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+
+namespace kex {
+
+struct rmr_result {
+  std::uint64_t max_pair = 0;    // worst entry+exit remote-reference count
+  double mean_pair = 0.0;        // mean over all pairs
+  std::uint64_t pairs = 0;       // acquisitions measured
+  int max_occupancy = 0;         // safety: must stay <= k
+  std::uint64_t total_remote = 0;
+};
+
+// Measure `alg` under the given memory model at contention `c` (the first
+// c pids run; the rest stay in their noncritical sections forever).
+// `cs_yields` controls how long critical sections are held (in scheduler
+// yields): longer holds lengthen waiting episodes, which inflates the
+// remote counts of globally-spinning algorithms but — the paper's whole
+// point — not of the local-spin ones.
+template <class KEx>
+rmr_result measure_rmr(KEx& alg, int c, int iterations, cost_model model,
+                       int cs_yields = 2) {
+  KEX_CHECK_MSG(c >= 1 && iterations >= 1, "measure_rmr: bad parameters");
+  process_set<sim_platform> procs(std::max(c, alg.n()), model);
+  cs_monitor monitor;
+
+  struct per_proc {
+    std::uint64_t max_pair = 0;
+    std::uint64_t sum_pair = 0;
+    std::uint64_t pairs = 0;
+  };
+  std::vector<per_proc> stats(static_cast<std::size_t>(c));
+
+  run_workers<sim_platform>(procs, first_pids(c), [&](sim_platform::proc& p) {
+    auto& mine = stats[static_cast<std::size_t>(p.id)];
+    for (int it = 0; it < iterations; ++it) {
+      const std::uint64_t before = p.counters().remote;
+      alg.acquire(p);
+      monitor.enter();
+      for (int y = 0; y < cs_yields; ++y) std::this_thread::yield();
+      monitor.exit();
+      alg.release(p);
+      const std::uint64_t pair = p.counters().remote - before;
+      mine.max_pair = std::max(mine.max_pair, pair);
+      mine.sum_pair += pair;
+      ++mine.pairs;
+    }
+  });
+
+  rmr_result out;
+  std::uint64_t sum = 0;
+  for (int pid = 0; pid < c; ++pid) {
+    const auto& s = stats[static_cast<std::size_t>(pid)];
+    out.max_pair = std::max(out.max_pair, s.max_pair);
+    sum += s.sum_pair;
+    out.pairs += s.pairs;
+    out.total_remote += procs[pid].counters().remote;
+  }
+  out.mean_pair = out.pairs ? static_cast<double>(sum) /
+                                  static_cast<double>(out.pairs)
+                            : 0.0;
+  out.max_occupancy = monitor.max_occupancy();
+  return out;
+}
+
+// Single-process ("without contention") measurement: one process cycles
+// alone — the paper's second Table-1 column.
+template <class KEx>
+rmr_result measure_rmr_solo(KEx& alg, int iterations, cost_model model) {
+  return measure_rmr(alg, 1, iterations, model);
+}
+
+}  // namespace kex

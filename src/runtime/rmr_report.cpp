@@ -1,0 +1,58 @@
+#include "runtime/rmr_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace kex {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    width[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << ' ' << cell;
+      for (std::size_t pad = cell.size(); pad < width[i]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    for (std::size_t pad = 0; pad < width[i] + 2; ++pad) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string fmt_u64(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", v);
+  return buf;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace kex

@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark binaries, so each bench
+// prints rows shaped like the paper's Table 1 and theorem statements.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kex {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  // Append a row; cells beyond the header count are dropped, missing cells
+  // render empty.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for bench output.
+std::string fmt_u64(unsigned long long v);
+std::string fmt_fixed(double v, int digits);
+
+}  // namespace kex

@@ -1,0 +1,22 @@
+#include "runtime/workload.h"
+
+#include <atomic>
+
+namespace kex {
+
+namespace {
+// Sink defeats dead-code elimination of the spin loop.
+std::atomic<std::uint32_t> work_sink{0};
+}  // namespace
+
+void spin_work(std::uint32_t units) {
+  std::uint32_t acc = 0x2545f491u;
+  for (std::uint32_t i = 0; i < units; ++i) {
+    acc ^= acc << 7;
+    acc ^= acc >> 9;
+    acc += i;
+  }
+  if (units != 0) work_sink.store(acc, std::memory_order_relaxed);
+}
+
+}  // namespace kex

@@ -1,0 +1,46 @@
+// Workload shaping for benchmarks and stress tests.
+//
+// The paper's performance claims are parameterized by *contention* — the
+// number of processes outside their noncritical sections.  These helpers
+// produce the noncritical/critical "work" that turns a thread loop into a
+// workload with a controllable contention profile:
+//   - spin_work: deterministic CPU burn (no shared accesses),
+//   - xorshift: a tiny per-process PRNG for think-time jitter,
+//   - workload_profile: iteration counts plus critical/noncritical work
+//     amounts used uniformly across the bench binaries.
+#pragma once
+
+#include <cstdint>
+
+namespace kex {
+
+// Deterministic, optimizer-resistant local work.
+void spin_work(std::uint32_t units);
+
+// xorshift32 PRNG: cheap, seedable per process, no shared state.
+class xorshift {
+ public:
+  explicit xorshift(std::uint32_t seed) : s_(seed ? seed : 0x9e3779b9u) {}
+  std::uint32_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 17;
+    s_ ^= s_ << 5;
+    return s_;
+  }
+  // Uniform in [0, bound).
+  std::uint32_t next_below(std::uint32_t bound) {
+    return bound ? next() % bound : 0;
+  }
+
+ private:
+  std::uint32_t s_;
+};
+
+struct workload_profile {
+  int iterations = 100;          // acquisitions per process
+  std::uint32_t cs_work = 0;     // work units inside the critical section
+  std::uint32_t ncs_work = 0;    // work units in the noncritical section
+  std::uint32_t ncs_jitter = 0;  // extra random noncritical work (0..j)
+};
+
+}  // namespace kex

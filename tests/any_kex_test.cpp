@@ -1,0 +1,93 @@
+// Type-erased handles and the by-name factory, including the strongest
+// resilience configuration (k = N-1: the wait-free-equivalent extreme the
+// paper's introduction frames the methodology around).
+#include <gtest/gtest.h>
+
+#include "kex/any_kex.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+TEST(AnyKex, FactoryBuildsWholeCatalog) {
+  for (const auto& name : kex_catalog()) {
+    const bool k1_only = (name == "mcs" || name == "ya");
+    auto alg = make_kex<sim>(name, 6, k1_only ? 1 : 2);
+    ASSERT_TRUE(static_cast<bool>(alg)) << name;
+    EXPECT_EQ(alg.n(), 6) << name;
+    sim::proc p{0, cost_model::cc};
+    alg.acquire(p);
+    alg.release(p);
+  }
+}
+
+TEST(AnyKex, UnknownNameIsLoud) {
+  EXPECT_THROW(make_kex<sim>("nope", 4, 2), invariant_violation);
+}
+
+TEST(AnyKex, ShapeConstraintsPropagate) {
+  EXPECT_THROW(make_kex<sim>("mcs", 4, 2), invariant_violation);
+  EXPECT_THROW(make_kex<sim>("cc_fast", 2, 2), invariant_violation);
+}
+
+TEST(AnyKex, SafetyThroughErasure) {
+  auto alg = make_kex<sim>("cc_fast", 6, 2);
+  process_set<sim> procs(6, cost_model::cc);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(6), [&](sim::proc& p) {
+    for (int i = 0; i < 40; ++i) {
+      alg.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), 2);
+      std::this_thread::yield();
+      monitor.exit();
+      alg.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, 6);
+  EXPECT_LE(monitor.max_occupancy(), 2);
+}
+
+TEST(AnyKex, WorksOnRealPlatformToo) {
+  auto alg = make_kex<real_platform>("dsm_fast", 4, 2);
+  real_platform::proc p{0};
+  alg.acquire(p);
+  alg.release(p);
+}
+
+// k = N-1: tolerates N-2 crashes — the paper's framing of wait-freedom as
+// (N-1)-resilience makes this the near-wait-free end of the dial.
+TEST(ExtremeResilience, KEqualsNMinus1ToleratesAllButOneCrash) {
+  constexpr int n = 6, k = n - 1;
+  for (const char* name : {"cc_inductive", "cc_fast", "dsm_bounded"}) {
+    SCOPED_TRACE(name);
+    auto alg = make_kex<sim>(name, n, k);
+    process_set<sim> procs(n, cost_model::cc);
+    cs_monitor monitor;
+    auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+      if (p.id < k - 1) {  // n-2 processes die holding the CS
+        alg.acquire(p);
+        monitor.enter();
+        p.fail();
+        alg.release(p);
+        return;
+      }
+      for (int i = 0; i < 30; ++i) {
+        alg.acquire(p);
+        monitor.enter();
+        ASSERT_LE(monitor.occupancy(), k);
+        monitor.exit();
+        alg.release(p);
+      }
+    });
+    EXPECT_EQ(result.crashed, k - 1);
+    EXPECT_EQ(result.completed, n - (k - 1));
+    EXPECT_LE(monitor.max_occupancy(), k);
+  }
+}
+
+}  // namespace
+}  // namespace kex

@@ -1,0 +1,118 @@
+// Small-API coverage: the helpers and accessors not exercised by the
+// behavioral suites.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "kex/algorithms.h"
+#include "renaming/splitter_renaming.h"
+#include "resilient/arena.h"
+#include "runtime/history.h"
+#include "runtime/process_group.h"
+#include "runtime/rmr_meter.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+TEST(ApiSurface, MeasureRmrSolo) {
+  cc_inductive<sim> alg(2, 1);
+  auto r = measure_rmr_solo(alg, 10, cost_model::cc);
+  EXPECT_EQ(r.pairs, 10u);
+  EXPECT_EQ(r.max_occupancy, 1);
+  EXPECT_GT(r.max_pair, 0u);
+}
+
+TEST(ApiSurface, ProcessSetSizeAndIndex) {
+  process_set<sim> procs(5, cost_model::dsm);
+  EXPECT_EQ(procs.size(), 5);
+  EXPECT_EQ(procs[3].id, 3);
+  EXPECT_EQ(procs[3].model(), cost_model::dsm);
+  procs[3].set_model(cost_model::cc);
+  EXPECT_EQ(procs[3].model(), cost_model::cc);
+}
+
+TEST(ApiSurface, ArenaAllocationCounting) {
+  pid_arena<int> arena(3);
+  EXPECT_EQ(arena.allocated(), 0u);
+  int* a = arena.alloc(0, 42);
+  int* b = arena.alloc(2, 7);
+  EXPECT_EQ(*a, 42);
+  EXPECT_EQ(*b, 7);
+  EXPECT_EQ(arena.allocated(), 2u);
+  EXPECT_THROW(pid_arena<int>(0), invariant_violation);
+}
+
+TEST(ApiSurface, HistoryRecorderClear) {
+  history_recorder rec;
+  rec.record(0, hevent::try_enter);
+  EXPECT_EQ(rec.snapshot().size(), 1u);
+  rec.clear();
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(ApiSurface, HistoryCheckerEmptyAndKGuard) {
+  auto rep = check_history({}, 2);
+  EXPECT_TRUE(rep.well_formed);
+  EXPECT_EQ(rep.acquisitions, 0);
+  EXPECT_THROW(check_history({}, 0), invariant_violation);
+}
+
+TEST(ApiSurface, VarPeekDoesNotCharge) {
+  sim::proc p{0, cost_model::cc};
+  sim::var<int> v{9};
+  EXPECT_EQ(v.peek(), 9);
+  EXPECT_EQ(p.counters().statements, 0u);  // peek bypasses everything
+  p.fail();
+  EXPECT_EQ(v.peek(), 9);  // even failure does not block peeks
+}
+
+TEST(ApiSurface, DsmUnboundedLocationAccounting) {
+  dsm_unbounded<sim> alg(3, 2, -1, 64);
+  EXPECT_EQ(alg.locations_used(0), 0u);
+  sim::proc p{0, cost_model::dsm};
+  alg.acquire(p);  // uncontended: no location consumed
+  alg.release(p);
+  EXPECT_EQ(alg.locations_used(0), 0u);
+}
+
+TEST(ApiSurface, FastPathAccessors) {
+  cc_fast<sim> f(8, 2);
+  EXPECT_EQ(f.n(), 8);
+  EXPECT_EQ(f.k(), 2);
+  EXPECT_EQ(f.block().k(), 2);
+  EXPECT_EQ(f.block().n(), 4);       // the (2k,k) block
+  EXPECT_EQ(f.slow_path().n(), 8);   // the tree over all pids
+  EXPECT_DOUBLE_EQ(f.fast_hit_rate(), 1.0);  // vacuous before use
+}
+
+TEST(ApiSurface, SplitterPositionEnumeration) {
+  splitter_renaming<sim> ren(4);
+  // All 10 names map to distinct positions with r+d <= 3.
+  std::set<std::pair<int, int>> seen;
+  for (int name = 0; name < ren.name_space(); ++name) {
+    auto pos = ren.position_of(name);
+    EXPECT_LE(pos.first + pos.second, 3);
+    EXPECT_TRUE(seen.insert(pos).second);
+  }
+}
+
+TEST(ApiSurface, CountersDistinguishLocalRemote) {
+  sim::proc p{0, cost_model::dsm};
+  sim::var<int> mine{0};
+  mine.set_owner(0);
+  sim::var<int> theirs{0};
+  theirs.set_owner(1);
+  mine.write(p, 1);
+  theirs.write(p, 1);
+  EXPECT_EQ(p.counters().local, 1u);
+  EXPECT_EQ(p.counters().remote, 1u);
+  EXPECT_EQ(p.counters().statements, 2u);
+  EXPECT_EQ(mine.owner(), 0);
+  EXPECT_EQ(theirs.owner(), 1);
+}
+
+}  // namespace
+}  // namespace kex

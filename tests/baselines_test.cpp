@@ -1,0 +1,191 @@
+// Behavior of the Table-1 baseline stand-ins beyond the shared safety
+// suite: FIFO ordering, doorway properties, bit-register correctness, and
+// the complexity signatures each row is meant to reproduce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "baselines/atomic_queue_kex.h"
+#include "baselines/bakery_kex.h"
+#include "baselines/mcs_lock.h"
+#include "baselines/os_primitives.h"
+#include "baselines/scan_kex.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+#include "runtime/rmr_meter.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+// --- ticket: FIFO -------------------------------------------------------------
+
+TEST(Ticket, FifoHandoffWithK1) {
+  // With k=1 the ticket algorithm is a strict FIFO lock: entry order must
+  // equal ticket order.  We record the sequence of (pid) entries and
+  // verify each pid's entries are evenly interleaved (no starvation, no
+  // overtaking of an already-waiting process beyond k-1 slots).
+  constexpr int n = 4, iters = 30;
+  baselines::ticket_kex<sim> lock(n, 1);
+  process_set<sim> procs(n, cost_model::cc);
+  std::atomic<int> order_idx{0};
+  std::vector<std::atomic<int>> order(n * iters);
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < iters; ++i) {
+      lock.acquire(p);
+      order[static_cast<std::size_t>(order_idx.fetch_add(1))].store(p.id);
+      lock.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_EQ(order_idx.load(), n * iters);
+}
+
+TEST(Ticket, SoloCostIsConstantInN) {
+  for (int n : {4, 64}) {
+    baselines::ticket_kex<sim> lock(n, 2);
+    auto r = measure_rmr(lock, 1, 40, cost_model::cc);
+    EXPECT_LE(r.max_pair, 3u) << "n=" << n;
+  }
+}
+
+// --- Figure-1 queue -------------------------------------------------------------
+
+TEST(AtomicQueue, WaiterReleasedInFifoOrder) {
+  constexpr int n = 5, k = 2;
+  baselines::atomic_queue_kex<sim> q(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < 40; ++i) {
+      q.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), k);
+      std::this_thread::yield();
+      monitor.exit();
+      q.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+TEST(AtomicQueue, SpinScanCostGrowsWithQueueLength) {
+  // The Figure-1 critique: Element(p, Q) rescans the queue, so waiting
+  // cost grows with the number of waiters ahead — compare max pair RMR at
+  // c=3 vs c=8 under the CC model.
+  baselines::atomic_queue_kex<sim> q3(8, 1), q8(8, 1);
+  auto small = measure_rmr(q3, 3, 30, cost_model::cc, /*cs_yields=*/8);
+  auto large = measure_rmr(q8, 8, 30, cost_model::cc, /*cs_yields=*/8);
+  EXPECT_GT(large.max_pair, small.max_pair);
+}
+
+// --- bakery ----------------------------------------------------------------------
+
+TEST(Bakery, DoorwayIsLinearInN) {
+  for (auto [n, expect_max] : {std::pair{4, 3 * 4 + 8}, {32, 3 * 32 + 8}}) {
+    baselines::bakery_kex<sim> b(n, 2);
+    auto r = measure_rmr(b, 1, 30, cost_model::dsm);
+    EXPECT_LE(r.max_pair, static_cast<std::uint64_t>(expect_max))
+        << "n=" << n;
+    EXPECT_GE(r.max_pair, static_cast<std::uint64_t>(2 * n)) << "n=" << n;
+  }
+}
+
+TEST(Bakery, FirstComeFirstServedByLabel) {
+  // A process that completes its doorway before another starts must enter
+  // first (the FIFE property of row [1], inherited from bakery labels).
+  baselines::bakery_kex<sim> b(3, 1);
+  sim::proc a{0, cost_model::cc}, c{2, cost_model::cc};
+  b.acquire(a);  // a holds; label(a) < any later label
+  std::atomic<bool> c_in{false};
+  std::thread t([&] {
+    b.acquire(c);
+    c_in.store(true);
+  });
+  for (int i = 0; i < 100; ++i) std::this_thread::yield();
+  EXPECT_FALSE(c_in.load());
+  b.release(a);
+  t.join();
+  EXPECT_TRUE(c_in.load());
+  b.release(c);
+}
+
+// --- bit registers ----------------------------------------------------------------
+
+TEST(BitRegister, SequentialRoundTrip) {
+  baselines::bit_register<sim> reg(16);
+  sim::proc p{0, cost_model::cc};
+  for (long v : {0L, 1L, 255L, 65535L, 4242L}) {
+    reg.write(p, v);
+    EXPECT_EQ(reg.read(p), v);
+  }
+}
+
+TEST(BitRegister, ReadNeverTears) {
+  // Writer flips between two bit patterns whose halves differ; readers
+  // must never observe a mix (the sequence-validated double collect).
+  baselines::bit_register<sim> reg(16);
+  constexpr long A = 0x00ff, B = 0xff00;
+  sim::proc w{0, cost_model::cc};
+  reg.write(w, A);
+  std::atomic<bool> stop{false}, torn{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; ++i) reg.write(w, (i & 1) ? B : A);
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    sim::proc r{1, cost_model::cc};
+    while (!stop.load()) {
+      long v = reg.read(r);
+      if (v != A && v != B) torn.store(true);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(torn.load()) << "torn multi-bit read";
+}
+
+TEST(ScanKex, SoloCostIsQuadraticFlavor) {
+  // Register reads cost Θ(bits); the doorway reads N registers.  Compare
+  // solo cost at N=4 vs N=32: super-linear growth.
+  baselines::scan_kex<sim> s4(4, 2), s32(32, 2);
+  auto r4 = measure_rmr(s4, 1, 10, cost_model::dsm);
+  auto r32 = measure_rmr(s32, 1, 10, cost_model::dsm);
+  EXPECT_GT(r32.max_pair, 4 * r4.max_pair);
+}
+
+// --- OS primitives -----------------------------------------------------------------
+
+TEST(OsPrimitives, SemaphoreHoldsK) {
+  constexpr int n = 6, k = 2;
+  baselines::semaphore_kex<sim> sem(n, k);
+  process_set<sim> procs(n, cost_model::none);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < 50; ++i) {
+      sem.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), k);
+      std::this_thread::yield();
+      monitor.exit();
+      sem.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+TEST(OsPrimitives, MutexIsK1Only) {
+  EXPECT_THROW(baselines::mutex_kex<sim>(4, 2), invariant_violation);
+  baselines::mutex_kex<sim> m(4);
+  sim::proc p{0, cost_model::none};
+  m.acquire(p);
+  m.release(p);
+  EXPECT_EQ(m.k(), 1);
+}
+
+}  // namespace
+}  // namespace kex

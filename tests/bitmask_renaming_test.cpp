@@ -1,0 +1,140 @@
+// CAS-bitmask long-lived renaming: Figure 7's contract, one-word variant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "kex/algorithms.h"
+#include "platform/stepper.h"
+#include "renaming/bitmask_renaming.h"
+#include "runtime/process_group.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+TEST(BitmaskRenaming, SequentialDenseNames) {
+  bitmask_renaming<sim> ren(4);
+  sim::proc p{0, cost_model::cc};
+  std::set<int> held;
+  for (int i = 0; i < 4; ++i) held.insert(ren.get_name(p));
+  EXPECT_EQ(held, (std::set<int>{0, 1, 2, 3}));
+  for (int name : held) ren.put_name(p, name);
+  EXPECT_EQ(ren.get_name(p), 0);  // long-lived: reusable after release
+}
+
+TEST(BitmaskRenaming, BoundaryK64AndK1) {
+  bitmask_renaming<sim> r64(64);
+  sim::proc p{0, cost_model::cc};
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(r64.get_name(p), i);
+  for (int i = 63; i >= 0; --i) r64.put_name(p, i);
+  EXPECT_EQ(r64.get_name(p), 0);
+
+  bitmask_renaming<sim> r1(1);
+  EXPECT_EQ(r1.get_name(p), 0);
+  r1.put_name(p, 0);
+
+  EXPECT_THROW(bitmask_renaming<sim>(65), invariant_violation);
+  EXPECT_THROW(bitmask_renaming<sim>(0), invariant_violation);
+}
+
+TEST(BitmaskRenaming, MisuseIsLoud) {
+  bitmask_renaming<sim> ren(2);
+  sim::proc p{0, cost_model::cc};
+  EXPECT_THROW(ren.put_name(p, 2), invariant_violation);   // out of range
+  EXPECT_THROW(ren.put_name(p, 0), invariant_violation);   // not held
+  int a = ren.get_name(p);
+  int b = ren.get_name(p);
+  EXPECT_THROW((void)ren.get_name(p), invariant_violation);  // > k holders
+  ren.put_name(p, a);
+  ren.put_name(p, b);
+}
+
+TEST(BitmaskRenaming, ConcurrentUniqueUnderExclusion) {
+  constexpr int n = 6, k = 3, iters = 50;
+  cc_fast<sim> excl(n, k);
+  bitmask_renaming<sim> ren(k);
+  process_set<sim> procs(n, cost_model::cc);
+  std::vector<std::atomic<int>> holder(static_cast<std::size_t>(k));
+  for (auto& h : holder) h.store(-1);
+  std::atomic<bool> violation{false};
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < iters; ++i) {
+      excl.acquire(p);
+      int name = ren.get_name(p);
+      int expected = -1;
+      if (name < 0 || name >= k ||
+          !holder[static_cast<std::size_t>(name)].compare_exchange_strong(
+              expected, p.id))
+        violation.store(true);
+      std::this_thread::yield();
+      holder[static_cast<std::size_t>(name)].store(-1);
+      ren.put_name(p, name);
+      excl.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(BitmaskRenaming, ExhaustiveTwoProcessSchedules) {
+  std::atomic<bool> duplicate{false};
+  auto make = [&] {
+    auto ren = std::make_shared<bitmask_renaming<sim>>(2);
+    auto names = std::make_shared<std::array<std::atomic<int>, 2>>();
+    (*names)[0].store(-1);
+    (*names)[1].store(-1);
+    std::vector<std::function<void(sim::proc&)>> scripts;
+    for (int pid = 0; pid < 2; ++pid) {
+      scripts.emplace_back([ren, names, pid, &duplicate](sim::proc& p) {
+        int name = ren->get_name(p);
+        (*names)[static_cast<std::size_t>(pid)].store(name);
+        int other = (*names)[static_cast<std::size_t>(1 - pid)].load();
+        if (other != -1 && other == name) duplicate.store(true);
+        (*names)[static_cast<std::size_t>(pid)].store(-1);
+        ren->put_name(p, name);
+      });
+    }
+    return scripts;
+  };
+  explore_all(2, 8, make, [&](const explore_outcome& o) {
+    ASSERT_FALSE(o.deadlocked) << o.schedule;
+    ASSERT_FALSE(duplicate.load()) << "schedule " << o.schedule;
+  });
+}
+
+TEST(BitmaskRenaming, CrashedHolderLeaksExactlyOneName) {
+  constexpr int n = 5, k = 3;
+  cc_fast<sim> excl(n, k);
+  bitmask_renaming<sim> ren(k);
+  process_set<sim> procs(n, cost_model::cc);
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    if (p.id == 0) {
+      excl.acquire(p);
+      int name = ren.get_name(p);
+      (void)name;
+      p.fail();
+      ren.put_name(p, name);
+      return;
+    }
+    for (int i = 0; i < 30; ++i) {
+      excl.acquire(p);
+      int name = ren.get_name(p);
+      ASSERT_LT(name, k);
+      ren.put_name(p, name);
+      excl.release(p);
+    }
+  });
+  EXPECT_EQ(result.crashed, 1);
+  EXPECT_EQ(result.completed, n - 1);
+  // Exactly one name remains claimed by the dead holder.
+  sim::proc fresh{1, cost_model::cc};
+  std::set<int> free_names;
+  for (int i = 0; i < k - 1; ++i) free_names.insert(ren.get_name(fresh));
+  EXPECT_EQ(free_names.size(), static_cast<std::size_t>(k - 1));
+  EXPECT_THROW((void)ren.get_name(fresh), invariant_violation);
+}
+
+}  // namespace
+}  // namespace kex

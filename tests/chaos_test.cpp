@@ -1,0 +1,146 @@
+// Chaos-schedule stress: every algorithm run under seeded random yields
+// injected before shared-memory accesses, multiplying the interleavings
+// explored far beyond natural scheduling.  Safety (<= k in CS) and
+// completion are asserted for every seed; a failing seed is reproducible.
+#include <gtest/gtest.h>
+
+#include "baselines/atomic_queue_kex.h"
+#include "baselines/bakery_kex.h"
+#include "kex/algorithms.h"
+#include "renaming/k_assignment.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+template <class KEx>
+void chaos_run(int n, int k, int iterations, std::uint32_t seed,
+               cost_model model = cost_model::cc) {
+  SCOPED_TRACE(::testing::Message() << "n=" << n << " k=" << k
+                                    << " seed=" << seed);
+  KEx alg(n, k);
+  process_set<sim> procs(n, model);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    p.set_chaos(seed * 1000003u + static_cast<std::uint32_t>(p.id),
+                /*permille=*/200);
+    for (int i = 0; i < iterations; ++i) {
+      alg.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), k);
+      monitor.exit();
+      alg.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+template <class T>
+class ChaosSuite : public ::testing::Test {};
+
+using Algorithms =
+    ::testing::Types<cc_inductive<sim>, cc_tree<sim>, cc_fast<sim>,
+                     cc_graceful<sim>, dsm_unbounded<sim>, dsm_bounded<sim>,
+                     dsm_fast<sim>, baselines::atomic_queue_kex<sim>,
+                     baselines::bakery_kex<sim>>;
+TYPED_TEST_SUITE(ChaosSuite, Algorithms);
+
+TYPED_TEST(ChaosSuite, TenSeedsSmall) {
+  for (std::uint32_t seed = 1; seed <= 10; ++seed)
+    chaos_run<TypeParam>(4, 2, 25, seed);
+}
+
+TYPED_TEST(ChaosSuite, FiveSeedsMedium) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed)
+    chaos_run<TypeParam>(7, 3, 20, seed);
+}
+
+TYPED_TEST(ChaosSuite, ThreeSeedsDsmModel) {
+  for (std::uint32_t seed = 11; seed <= 13; ++seed)
+    chaos_run<TypeParam>(6, 2, 20, seed, cost_model::dsm);
+}
+
+// Chaos + crash: random interleavings while one process dies mid-entry.
+template <class KEx>
+void chaos_crash_run(int n, int k, std::uint32_t seed) {
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+  KEx alg(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    p.set_chaos(seed * 7919u + static_cast<std::uint32_t>(p.id), 150);
+    if (p.id == 0) {
+      p.fail_after(2 + seed % 9);
+      alg.acquire(p);
+      monitor.enter();
+      p.fail();
+      alg.release(p);
+      return;
+    }
+    for (int i = 0; i < 20; ++i) {
+      alg.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), k);
+      monitor.exit();
+      alg.release(p);
+    }
+  });
+  EXPECT_EQ(result.crashed, 1);
+  EXPECT_EQ(result.completed, n - 1);
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+TEST(ChaosCrash, CcFast) {
+  for (std::uint32_t s = 1; s <= 12; ++s)
+    chaos_crash_run<cc_fast<sim>>(5, 2, s);
+}
+TEST(ChaosCrash, CcInductive) {
+  for (std::uint32_t s = 1; s <= 12; ++s)
+    chaos_crash_run<cc_inductive<sim>>(5, 2, s);
+}
+TEST(ChaosCrash, DsmBounded) {
+  for (std::uint32_t s = 1; s <= 12; ++s)
+    chaos_crash_run<dsm_bounded<sim>>(5, 2, s);
+}
+TEST(ChaosCrash, DsmUnbounded) {
+  for (std::uint32_t s = 1; s <= 12; ++s)
+    chaos_crash_run<dsm_unbounded<sim>>(5, 2, s);
+}
+TEST(ChaosCrash, CcGraceful) {
+  for (std::uint32_t s = 1; s <= 12; ++s)
+    chaos_crash_run<cc_graceful<sim>>(8, 2, s);
+}
+
+// Chaos on the k-assignment name layer: uniqueness under wild schedules.
+TEST(ChaosAssignment, NamesStayUnique) {
+  constexpr int n = 6, k = 3;
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    cc_assignment<sim> asg(n, k);
+    process_set<sim> procs(n, cost_model::cc);
+    std::vector<std::atomic<int>> holder(static_cast<std::size_t>(k));
+    for (auto& h : holder) h.store(-1);
+    std::atomic<bool> violation{false};
+    auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+      p.set_chaos(seed * 31u + static_cast<std::uint32_t>(p.id), 200);
+      for (int i = 0; i < 20; ++i) {
+        int name = asg.acquire(p);
+        int expected = -1;
+        if (name < 0 || name >= k ||
+            !holder[static_cast<std::size_t>(name)]
+                 .compare_exchange_strong(expected, p.id))
+          violation.store(true);
+        holder[static_cast<std::size_t>(name)].store(-1);
+        asg.release(p, name);
+      }
+    });
+    EXPECT_EQ(result.completed, n) << "seed " << seed;
+    EXPECT_FALSE(violation.load()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kex

@@ -1,0 +1,223 @@
+// Structural and behavioral tests of the composition layers: the tree
+// (Figure 3(a)), the fast path (Figure 4), and the nested graceful chain
+// (Figure 3(b)) — slot accounting, path shapes, and fast-path/slow-path
+// routing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "kex/algorithms.h"
+#include "runtime/bounds.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+#include "runtime/rmr_meter.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+// --- tree shape -------------------------------------------------------------
+
+TEST(TreeShape, BlockAndDepthCounts) {
+  struct expect {
+    int n, k, depth, blocks;
+  };
+  // ⌈n/k⌉ leaf groups rounded to a power of two; g-1 internal blocks.
+  for (auto [n, k, depth, blocks] :
+       {expect{4, 2, 1, 1}, expect{8, 2, 2, 3}, expect{16, 2, 3, 7},
+        expect{12, 3, 2, 3}, expect{9, 4, 2, 3}, expect{64, 2, 5, 31}}) {
+    cc_tree<sim> t(n, k);
+    EXPECT_EQ(t.depth(), depth) << "n=" << n << " k=" << k;
+    EXPECT_EQ(t.block_count(), blocks) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(TreeShape, EveryPidHasARootPath) {
+  // All pids complete solo acquisitions — exercising every leaf-to-root
+  // path including the padded (empty) leaf groups.
+  constexpr int n = 10, k = 3;  // ⌈10/3⌉=4 groups, 2 padded slots
+  cc_tree<sim> t(n, k);
+  for (int pid = 0; pid < n; ++pid) {
+    sim::proc p{pid, cost_model::cc};
+    t.acquire(p);
+    t.release(p);
+  }
+}
+
+TEST(TreeShape, SiblingGroupsShareOnlyTheirParent) {
+  // Two processes from sibling leaf groups contend only at their common
+  // ancestors; solo cost for distant pids equals depth * per-block cost
+  // regardless of which group they sit in.
+  constexpr int n = 16, k = 2;
+  cc_tree<sim> t(n, k);
+  std::uint64_t costs[2];
+  int idx = 0;
+  for (int pid : {0, 15}) {
+    sim::proc p{pid, cost_model::cc};
+    p.reset_counters();
+    t.acquire(p);
+    t.release(p);
+    costs[idx++] = p.counters().remote;
+  }
+  EXPECT_EQ(costs[0], costs[1]) << "tree must be symmetric across groups";
+}
+
+// --- fast path routing -------------------------------------------------------
+
+TEST(FastPath, SoloTakesFastPathOnly) {
+  cc_fast<sim> f(16, 2);
+  sim::proc p{0, cost_model::cc};
+  // Warm up, then measure: the slow path (tree) would cost ~6k*depth; the
+  // fast path stays under the 7k+2 bound.
+  f.acquire(p);
+  f.release(p);
+  p.reset_counters();
+  f.acquire(p);
+  f.release(p);
+  EXPECT_LE(p.counters().remote, 16u);
+}
+
+TEST(FastPath, SlotCounterRestoredAfterUse) {
+  // After any interleaving completes, all k fast slots are free again:
+  // a fresh solo acquisition must take the fast path.
+  constexpr int n = 8, k = 2;
+  cc_fast<sim> f(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < 30; ++i) {
+      f.acquire(p);
+      std::this_thread::yield();
+      f.release(p);
+    }
+  });
+  sim::proc fresh{0, cost_model::cc};
+  fresh.reset_counters();
+  f.acquire(fresh);
+  f.release(fresh);
+  EXPECT_LE(fresh.counters().remote, 16u)
+      << "a leaked fast slot forced the slow path";
+}
+
+TEST(FastPath, OverflowRoutesThroughSlowPathSafely) {
+  // More processes than fast slots: the overflow must be admitted via the
+  // slow path while safety holds.
+  constexpr int n = 6, k = 2;
+  cc_fast<sim> f(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < 40; ++i) {
+      f.acquire(p);
+      monitor.enter();
+      std::this_thread::yield();
+      ASSERT_LE(monitor.occupancy(), k);
+      monitor.exit();
+      f.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_LE(monitor.max_occupancy(), k);
+  EXPECT_GE(monitor.entries(), static_cast<std::uint64_t>(n) * 40);
+}
+
+// --- graceful chain ------------------------------------------------------------
+
+TEST(Graceful, StageCountFormula) {
+  struct expect {
+    int n, k, stages;
+  };
+  // Stages accrue while remaining > 2k, each subtracting k.
+  for (auto [n, k, stages] : {expect{4, 2, 0}, expect{5, 2, 1},
+                              expect{8, 2, 2}, expect{16, 2, 6},
+                              expect{12, 3, 2}, expect{7, 3, 1}}) {
+    cc_graceful<sim> g(n, k);
+    EXPECT_EQ(g.stage_count(), stages) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(Graceful, SoloStopsAtStageZero) {
+  cc_graceful<sim> g(16, 2);
+  sim::proc p{0, cost_model::cc};
+  g.acquire(p);
+  g.release(p);
+  p.reset_counters();
+  g.acquire(p);
+  g.release(p);
+  // Stage-0 slot + one (2k,k) block: comfortably below two stages' cost.
+  EXPECT_LE(p.counters().remote, 16u);
+}
+
+TEST(Graceful, DepthGrowsWithContention) {
+  // Mean per-acquisition cost at high contention strictly exceeds the
+  // cost at low contention (processes descend more stages), yet stays
+  // within the Theorem-4 envelope — the "graceful" part.
+  cc_graceful<sim> g(16, 2);
+  auto low = measure_rmr(g, 2, 40, cost_model::cc);
+  cc_graceful<sim> g2(16, 2);
+  auto high = measure_rmr(g2, 12, 40, cost_model::cc);
+  EXPECT_GT(high.mean_pair, low.mean_pair);
+  EXPECT_LE(low.max_pair, static_cast<std::uint64_t>(
+                              bounds::thm4_cc_graceful(2, 2)));
+}
+
+TEST(Graceful, AllSlotsRestored) {
+  constexpr int n = 10, k = 2;
+  cc_graceful<sim> g(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < 25; ++i) {
+      g.acquire(p);
+      std::this_thread::yield();
+      g.release(p);
+    }
+  });
+  sim::proc fresh{0, cost_model::cc};
+  fresh.reset_counters();
+  g.acquire(fresh);
+  g.release(fresh);
+  EXPECT_LE(fresh.counters().remote, 16u)
+      << "a leaked stage slot forces deeper descent";
+}
+
+// --- compositions over the DSM blocks -----------------------------------------
+
+TEST(Composition, DsmTreeOverUnboundedBlocks) {
+  // tree_kex is generic in its block: compose it over Figure-5 blocks too.
+  tree_kex<sim, dsm_unbounded<sim>> t(8, 2);
+  process_set<sim> procs(8, cost_model::dsm);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(8), [&](sim::proc& p) {
+    for (int i = 0; i < 20; ++i) {
+      t.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), 2);
+      monitor.exit();
+      t.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, 8);
+  EXPECT_LE(monitor.max_occupancy(), 2);
+}
+
+TEST(Composition, FastPathOverMixedParts) {
+  // Figure 4 is generic too: a DSM block with a CC-tree slow path is odd
+  // but legal; safety must hold regardless of part choice.
+  fast_path_kex<sim, dsm_bounded<sim>, cc_tree<sim>> f(8, 2);
+  process_set<sim> procs(8, cost_model::cc);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(8), [&](sim::proc& p) {
+    for (int i = 0; i < 20; ++i) {
+      f.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), 2);
+      monitor.exit();
+      f.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, 8);
+  EXPECT_LE(monitor.max_occupancy(), 2);
+}
+
+}  // namespace
+}  // namespace kex

@@ -1,0 +1,136 @@
+// Shared test drivers for every k-exclusion implementation.
+//
+// All algorithms in the library (core and baselines) model the same
+// interface, so safety, liveness and resilience checks are written once
+// and instantiated per algorithm via typed tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "platform/sim.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+#include "runtime/workload.h"
+
+namespace kex::testing {
+
+// Run `active` of the n processes through `iterations` acquire/release
+// cycles and assert the fundamental safety property (never more than k in
+// the critical section) plus completion.
+template <class KEx>
+void check_safety(int n, int k, int active, int iterations,
+                  cost_model model = cost_model::cc) {
+  SCOPED_TRACE(::testing::Message() << "n=" << n << " k=" << k
+                                    << " active=" << active
+                                    << " iters=" << iterations);
+  KEx alg(n, k);
+  process_set<sim_platform> procs(n, model);
+  cs_monitor monitor;
+
+  auto result = run_workers<sim_platform>(
+      procs, first_pids(active), [&](sim_platform::proc& p) {
+        xorshift rng(static_cast<std::uint32_t>(p.id) * 7919u + 13u);
+        for (int i = 0; i < iterations; ++i) {
+          alg.acquire(p);
+          monitor.enter();
+          ASSERT_LE(monitor.occupancy(), k);
+          // Yield while holding the CS so other workers get scheduled and
+          // occupancy overlap really occurs, even on a single core.
+          std::this_thread::yield();
+          spin_work(rng.next_below(32));
+          ASSERT_LE(monitor.occupancy(), k);
+          monitor.exit();
+          alg.release(p);
+          spin_work(rng.next_below(32));
+        }
+      });
+
+  EXPECT_EQ(result.completed, active);
+  EXPECT_EQ(result.crashed, 0);
+  EXPECT_LE(monitor.max_occupancy(), k);
+  EXPECT_EQ(monitor.entries(),
+            static_cast<std::uint64_t>(active) *
+                static_cast<std::uint64_t>(iterations));
+  // With more active processes than slots, the object should actually be
+  // exercised up to capacity at least once in a contended run.
+  if (active >= k + 1 && iterations >= 50) {
+    EXPECT_GE(monitor.max_occupancy(), 1);
+  }
+}
+
+// Where a scripted failure strikes.
+enum class fail_point {
+  in_entry,    // mid-entry-section, a fixed number of statements in
+  in_cs,       // while holding the critical section
+  in_exit,     // mid-exit-section
+};
+
+// Crash `failures` processes (pids 0..failures-1) at `where` on their
+// first acquisition; assert every surviving process still completes all
+// its iterations.  Requires failures <= k-1 — the paper's resilience
+// guarantee.
+template <class KEx>
+void check_resilience(int n, int k, int failures, fail_point where,
+                      int iterations, cost_model model = cost_model::cc,
+                      std::uint64_t entry_offset = 1) {
+  SCOPED_TRACE(::testing::Message()
+               << "n=" << n << " k=" << k << " failures=" << failures
+               << " where=" << static_cast<int>(where)
+               << " offset=" << entry_offset);
+  ASSERT_LE(failures, k - 1) << "test misuse: more failures than tolerated";
+  KEx alg(n, k);
+  process_set<sim_platform> procs(n, model);
+  cs_monitor monitor;
+
+  auto result = run_workers<sim_platform>(
+      procs, all_pids(n), [&](sim_platform::proc& p) {
+        const bool doomed = p.id < failures;
+        if (doomed) {
+          switch (where) {
+            case fail_point::in_entry:
+              // Crash entry_offset statements into the entry section; the
+              // entry begins with the next shared access.
+              p.fail_after(entry_offset);
+              alg.acquire(p);  // expected to throw along the way...
+              // ...but if the entry section is shorter than the offset,
+              // crash in the CS instead (still a legal failure).
+              monitor.enter();
+              p.fail();
+              alg.release(p);
+              ADD_FAILURE() << "doomed process survived";
+              return;
+            case fail_point::in_cs:
+              alg.acquire(p);
+              monitor.enter();
+              p.fail();  // dies holding the critical section
+              alg.release(p);
+              ADD_FAILURE() << "doomed process survived";
+              return;
+            case fail_point::in_exit:
+              alg.acquire(p);
+              monitor.enter();
+              monitor.exit();
+              p.fail_after(1);  // dies one statement into the exit section
+              alg.release(p);
+              ADD_FAILURE() << "doomed process survived";
+              return;
+          }
+        }
+        for (int i = 0; i < iterations; ++i) {
+          alg.acquire(p);
+          monitor.enter();
+          ASSERT_LE(monitor.occupancy(), k);
+          monitor.exit();
+          alg.release(p);
+        }
+      });
+
+  EXPECT_EQ(result.crashed, failures);
+  EXPECT_EQ(result.completed, n - failures);
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+}  // namespace kex::testing

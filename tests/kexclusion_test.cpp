@@ -1,0 +1,181 @@
+// Safety and liveness of every k-exclusion implementation, instantiated
+// through one typed suite: at most k processes in the critical section,
+// and all processes complete bounded workloads under contention.
+#include <gtest/gtest.h>
+
+#include "baselines/atomic_queue_kex.h"
+#include "baselines/bakery_kex.h"
+#include "baselines/scan_kex.h"
+#include "kex/algorithms.h"
+#include "kex_common.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+using kex::testing::check_safety;
+
+template <class T>
+class KExclusionSuite : public ::testing::Test {};
+
+using AllAlgorithms = ::testing::Types<
+    cc_inductive<sim>, cc_tree<sim>, cc_fast<sim>, cc_graceful<sim>,
+    dsm_unbounded<sim>, dsm_bounded<sim>, dsm_tree<sim>, dsm_fast<sim>,
+    dsm_graceful<sim>, baselines::atomic_queue_kex<sim>,
+    baselines::ticket_kex<sim>, baselines::bakery_kex<sim>,
+    baselines::scan_kex<sim>>;
+TYPED_TEST_SUITE(KExclusionSuite, AllAlgorithms);
+
+TYPED_TEST(KExclusionSuite, SoloProcessCycles) {
+  check_safety<TypeParam>(/*n=*/4, /*k=*/2, /*active=*/1, /*iters=*/100);
+}
+
+TYPED_TEST(KExclusionSuite, MutualExclusionK1) {
+  check_safety<TypeParam>(/*n=*/3, /*k=*/1, /*active=*/3, /*iters=*/40);
+}
+
+TYPED_TEST(KExclusionSuite, FullContentionSmall) {
+  check_safety<TypeParam>(/*n=*/4, /*k=*/2, /*active=*/4, /*iters=*/60);
+}
+
+TYPED_TEST(KExclusionSuite, FullContentionMedium) {
+  check_safety<TypeParam>(/*n=*/8, /*k=*/3, /*active=*/8, /*iters=*/40);
+}
+
+TYPED_TEST(KExclusionSuite, ContentionBelowK) {
+  check_safety<TypeParam>(/*n=*/8, /*k=*/4, /*active=*/3, /*iters=*/60);
+}
+
+TYPED_TEST(KExclusionSuite, ContentionExactlyK) {
+  check_safety<TypeParam>(/*n=*/8, /*k=*/4, /*active=*/4, /*iters=*/60);
+}
+
+TYPED_TEST(KExclusionSuite, KIsNMinus1) {
+  check_safety<TypeParam>(/*n=*/5, /*k=*/4, /*active=*/5, /*iters=*/60);
+}
+
+TYPED_TEST(KExclusionSuite, UnderDsmCostModel) {
+  check_safety<TypeParam>(/*n=*/6, /*k=*/2, /*active=*/6, /*iters=*/40,
+                          cost_model::dsm);
+}
+
+// Parameterized sweep across (n, k) shapes for the paper's own algorithms
+// (the baselines join through the typed suite above; this sweep is wider).
+struct shape {
+  int n, k;
+};
+
+class ShapeSweep : public ::testing::TestWithParam<shape> {};
+
+TEST_P(ShapeSweep, CcInductive) {
+  check_safety<cc_inductive<sim>>(GetParam().n, GetParam().k, GetParam().n,
+                                  30);
+}
+TEST_P(ShapeSweep, CcTree) {
+  check_safety<cc_tree<sim>>(GetParam().n, GetParam().k, GetParam().n, 30);
+}
+TEST_P(ShapeSweep, CcFast) {
+  check_safety<cc_fast<sim>>(GetParam().n, GetParam().k, GetParam().n, 30);
+}
+TEST_P(ShapeSweep, CcGraceful) {
+  check_safety<cc_graceful<sim>>(GetParam().n, GetParam().k, GetParam().n,
+                                 30);
+}
+TEST_P(ShapeSweep, DsmBounded) {
+  check_safety<dsm_bounded<sim>>(GetParam().n, GetParam().k, GetParam().n,
+                                 30, cost_model::dsm);
+}
+TEST_P(ShapeSweep, DsmUnbounded) {
+  check_safety<dsm_unbounded<sim>>(GetParam().n, GetParam().k, GetParam().n,
+                                   30, cost_model::dsm);
+}
+TEST_P(ShapeSweep, DsmTree) {
+  check_safety<dsm_tree<sim>>(GetParam().n, GetParam().k, GetParam().n, 30,
+                              cost_model::dsm);
+}
+TEST_P(ShapeSweep, DsmFast) {
+  check_safety<dsm_fast<sim>>(GetParam().n, GetParam().k, GetParam().n, 30,
+                              cost_model::dsm);
+}
+TEST_P(ShapeSweep, DsmGraceful) {
+  check_safety<dsm_graceful<sim>>(GetParam().n, GetParam().k, GetParam().n,
+                                  30, cost_model::dsm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(shape{2, 1}, shape{3, 1}, shape{3, 2}, shape{4, 1},
+                      shape{5, 2}, shape{5, 4}, shape{6, 3}, shape{7, 2},
+                      shape{8, 5}, shape{9, 4}, shape{12, 3}, shape{16, 2}),
+    [](const ::testing::TestParamInfo<shape>& info) {
+      return "n" + std::to_string(info.param.n) + "k" +
+             std::to_string(info.param.k);
+    });
+
+// Constructor contract checks.
+TEST(Construction, RejectsBadParameters) {
+  EXPECT_THROW(cc_inductive<sim>(2, 2), invariant_violation);
+  EXPECT_THROW(cc_inductive<sim>(2, 0), invariant_violation);
+  EXPECT_THROW((tree_kex<sim, cc_inductive<sim>>(3, 3)),
+               invariant_violation);
+  EXPECT_THROW((cc_fast<sim>(2, 0)), invariant_violation);
+  EXPECT_THROW(dsm_bounded<sim>(4, 4), invariant_violation);
+  EXPECT_THROW(baselines::ticket_kex<sim>(1, 1), invariant_violation);
+}
+
+TEST(Construction, ReportsShape) {
+  cc_inductive<sim> a(8, 3);
+  EXPECT_EQ(a.n(), 8);
+  EXPECT_EQ(a.k(), 3);
+  EXPECT_EQ(a.depth(), 5);  // levels j = 7..3
+
+  cc_tree<sim> t(16, 2);
+  EXPECT_EQ(t.depth(), 3);        // ⌈16/2⌉ = 8 leaves -> depth 3
+  EXPECT_EQ(t.block_count(), 7);  // 8-leaf binary tree internals
+
+  cc_graceful<sim> g(10, 2);
+  // remaining: 10 > 4 (stage), 8 > 4 (stage), 6 > 4 (stage), 4 -> final.
+  EXPECT_EQ(g.stage_count(), 3);
+}
+
+// Harness self-test: a deliberately non-excluding "algorithm" must trip
+// the occupancy monitor, proving the safety checks above have teeth.
+TEST(HarnessSelfTest, MonitorDetectsViolations) {
+  struct no_exclusion {
+    no_exclusion(int n, int k) : n_(n), k_(k) {}
+    void acquire(sim::proc&) {}
+    void release(sim::proc&) {}
+    int n() const { return n_; }
+    int k() const { return k_; }
+    int n_, k_;
+  };
+
+  no_exclusion alg(6, 1);
+  process_set<sim> procs(6, cost_model::cc);
+  cs_monitor monitor;
+  run_workers<sim>(procs, all_pids(6), [&](sim::proc& p) {
+    (void)p;
+    for (int i = 0; i < 300; ++i) {
+      alg.acquire(p);
+      monitor.enter();
+      std::this_thread::yield();
+      monitor.exit();
+      alg.release(p);
+    }
+  });
+  EXPECT_GT(monitor.max_occupancy(), 1)
+      << "harness failed to produce critical-section overlap";
+}
+
+TEST(Construction, TrivialKex) {
+  trivial_kex<sim> t(3, 3);
+  sim::proc p{0, cost_model::cc};
+  t.acquire(p);
+  t.release(p);
+  EXPECT_EQ(t.n(), 3);
+  EXPECT_EQ(t.k(), 3);
+  EXPECT_THROW(trivial_kex<sim>(4, 3), invariant_violation);
+}
+
+}  // namespace
+}  // namespace kex

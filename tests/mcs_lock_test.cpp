@@ -1,0 +1,79 @@
+// MCS queue lock (reference [12]): mutual exclusion, FIFO handoff, local
+// spinning, and its O(1) RMR cost — the k=1 yardstick of the paper's
+// concluding remarks.
+#include <gtest/gtest.h>
+
+#include "baselines/mcs_lock.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+#include "runtime/rmr_meter.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+TEST(McsLock, MutualExclusion) {
+  constexpr int n = 6;
+  baselines::mcs_lock<sim> lock(n);
+  process_set<sim> procs(n, cost_model::cc);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < 50; ++i) {
+      lock.acquire(p);
+      monitor.enter();
+      ASSERT_EQ(monitor.occupancy(), 1);
+      std::this_thread::yield();
+      monitor.exit();
+      lock.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_EQ(monitor.max_occupancy(), 1);
+}
+
+TEST(McsLock, RejectsKGreaterThan1) {
+  EXPECT_THROW(baselines::mcs_lock<sim>(4, 2), invariant_violation);
+}
+
+TEST(McsLock, SoloCostIsConstant) {
+  for (int n : {2, 8, 64}) {
+    baselines::mcs_lock<sim> lock(n);
+    auto r = measure_rmr(lock, 1, 50, cost_model::cc);
+    EXPECT_LE(r.max_pair, 4u) << "n=" << n;  // exchange + CAS (+ slack)
+  }
+}
+
+TEST(McsLock, LocalSpinUnderDsm) {
+  // Waiters spin on their own nodes: per-acquisition remote references
+  // stay small even with contention and long critical sections.
+  constexpr int n = 6;
+  baselines::mcs_lock<sim> lock(n);
+  auto r = measure_rmr(lock, n, 40, cost_model::dsm, /*cs_yields=*/64);
+  EXPECT_LE(r.max_pair, 8u)
+      << "MCS must not scale with hold time (local spin)";
+}
+
+TEST(McsLock, ChaosSchedules) {
+  constexpr int n = 5;
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    baselines::mcs_lock<sim> lock(n);
+    process_set<sim> procs(n, cost_model::cc);
+    cs_monitor monitor;
+    auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+      p.set_chaos(seed * 977u + static_cast<std::uint32_t>(p.id), 200);
+      for (int i = 0; i < 25; ++i) {
+        lock.acquire(p);
+        monitor.enter();
+        ASSERT_EQ(monitor.occupancy(), 1);
+        monitor.exit();
+        lock.release(p);
+      }
+    });
+    EXPECT_EQ(result.completed, n) << "seed " << seed;
+    EXPECT_EQ(monitor.max_occupancy(), 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kex

@@ -1,0 +1,221 @@
+// Unit tests for the platform layer: variable semantics, the paper's
+// cost-model accounting (CC and DSM), and the crash-failure model.
+#include <gtest/gtest.h>
+
+#include "platform/platform.h"
+
+namespace kex {
+namespace {
+
+using sim_proc = sim_platform::proc;
+template <class T>
+using sim_var = sim_platform::template var<T>;
+
+TEST(RealVar, BasicOperations) {
+  real_platform::proc p{0};
+  real_platform::var<int> v{5};
+  EXPECT_EQ(v.read(p), 5);
+  v.write(p, 7);
+  EXPECT_EQ(v.read(p), 7);
+  EXPECT_EQ(v.fetch_add(p, 3), 7);
+  EXPECT_EQ(v.read(p), 10);
+  EXPECT_TRUE(v.compare_exchange(p, 10, 11));
+  EXPECT_FALSE(v.compare_exchange(p, 10, 12));
+  EXPECT_EQ(v.read(p), 11);
+  EXPECT_EQ(v.exchange(p, 2), 11);
+  EXPECT_EQ(v.read(p), 2);
+}
+
+TEST(RealVar, FetchDecFloor0) {
+  real_platform::proc p{0};
+  real_platform::var<int> v{2};
+  EXPECT_EQ(v.fetch_dec_floor0(p), 2);
+  EXPECT_EQ(v.fetch_dec_floor0(p), 1);
+  EXPECT_EQ(v.fetch_dec_floor0(p), 0);  // saturates
+  EXPECT_EQ(v.fetch_dec_floor0(p), 0);
+  EXPECT_EQ(v.read(p), 0);
+}
+
+TEST(SimVar, FetchDecFloor0Saturates) {
+  sim_proc p{0, cost_model::none};
+  sim_var<int> v{1};
+  EXPECT_EQ(v.fetch_dec_floor0(p), 1);
+  EXPECT_EQ(v.fetch_dec_floor0(p), 0);
+  EXPECT_EQ(v.read(p), 0);
+}
+
+// --- CC cost model -------------------------------------------------------
+
+TEST(CostModelCC, FirstReadRemoteThenCached) {
+  sim_proc p{0, cost_model::cc};
+  sim_var<int> v{0};
+  v.read(p);
+  EXPECT_EQ(p.counters().remote, 1u);  // cold miss
+  v.read(p);
+  v.read(p);
+  EXPECT_EQ(p.counters().remote, 1u);  // cache hits
+  EXPECT_EQ(p.counters().local, 2u);
+}
+
+TEST(CostModelCC, WriteByOtherInvalidates) {
+  sim_proc p{0, cost_model::cc};
+  sim_proc q{1, cost_model::cc};
+  sim_var<int> v{0};
+  v.read(p);                           // p: 1 remote, copy cached
+  v.write(q, 42);                      // q invalidates p's copy
+  v.read(p);                           // p: second remote
+  EXPECT_EQ(p.counters().remote, 2u);
+  v.read(p);
+  EXPECT_EQ(p.counters().remote, 2u);  // cached again
+}
+
+TEST(CostModelCC, WritesAlwaysChargedRemote) {
+  sim_proc p{0, cost_model::cc};
+  sim_var<int> v{0};
+  v.write(p, 1);
+  v.write(p, 2);
+  EXPECT_EQ(p.counters().remote, 2u);
+  // ...but a writer holds the fresh copy, so its next read is local.
+  v.read(p);
+  EXPECT_EQ(p.counters().local, 1u);
+}
+
+TEST(CostModelCC, SpinLoopCostsAtMostTwoRemote) {
+  // The paper's busy-wait assumption: a while (Q == p) loop generates at
+  // most two remote references — one cold miss, one after invalidation.
+  sim_proc spinner{0, cost_model::cc};
+  sim_proc releaser{1, cost_model::cc};
+  sim_var<int> q{0};
+
+  // Spinner polls 100 times before release: 1 remote + 99 local.
+  for (int i = 0; i < 100; ++i) (void)q.read(spinner);
+  EXPECT_EQ(spinner.counters().remote, 1u);
+
+  q.write(releaser, 1);  // invalidation
+  EXPECT_EQ(q.read(spinner), 1);
+  EXPECT_EQ(spinner.counters().remote, 2u);
+}
+
+TEST(CostModelCC, RmwInvalidatesOtherCopies) {
+  sim_proc p{0, cost_model::cc};
+  sim_proc q{1, cost_model::cc};
+  sim_var<int> v{0};
+  v.read(p);
+  v.fetch_add(q, 1);
+  v.read(p);
+  EXPECT_EQ(p.counters().remote, 2u);
+}
+
+// --- DSM cost model ------------------------------------------------------
+
+TEST(CostModelDSM, OwnerLocalOthersRemote) {
+  sim_proc owner{3, cost_model::dsm};
+  sim_proc other{1, cost_model::dsm};
+  sim_var<int> v{0};
+  v.set_owner(3);
+  v.read(owner);
+  v.write(owner, 1);
+  EXPECT_EQ(owner.counters().remote, 0u);
+  EXPECT_EQ(owner.counters().local, 2u);
+  v.read(other);
+  v.write(other, 2);
+  EXPECT_EQ(other.counters().remote, 2u);
+}
+
+TEST(CostModelDSM, UnownedVariablesRemoteToAll) {
+  sim_proc p{0, cost_model::dsm};
+  sim_var<int> v{0};  // owner defaults to -1
+  v.read(p);
+  v.fetch_add(p, 1);
+  EXPECT_EQ(p.counters().remote, 2u);
+}
+
+TEST(CostModelDSM, SpinOnOwnVariableIsFree) {
+  sim_proc p{5, cost_model::dsm};
+  sim_var<int> flag{0};
+  flag.set_owner(5);
+  for (int i = 0; i < 1000; ++i) (void)flag.read(p);
+  EXPECT_EQ(p.counters().remote, 0u);
+  EXPECT_EQ(p.counters().local, 1000u);
+}
+
+// --- cost_model::none ----------------------------------------------------
+
+TEST(CostModelNone, NothingChargedRemote) {
+  sim_proc p{0, cost_model::none};
+  sim_var<int> v{0};
+  v.read(p);
+  v.write(p, 1);
+  EXPECT_EQ(p.counters().remote, 0u);
+  EXPECT_EQ(p.counters().local, 2u);       // unclassified => local
+  EXPECT_EQ(p.counters().statements, 2u);  // statements still counted
+}
+
+// --- failure model -------------------------------------------------------
+
+TEST(Failure, NextAccessThrows) {
+  sim_proc p{0, cost_model::cc};
+  sim_var<int> v{0};
+  v.read(p);
+  p.fail();
+  EXPECT_THROW((void)v.read(p), process_failed);
+  EXPECT_THROW(v.write(p, 1), process_failed);
+  EXPECT_THROW((void)v.fetch_add(p, 1), process_failed);
+  EXPECT_THROW((void)v.compare_exchange(p, 0, 1), process_failed);
+  EXPECT_THROW((void)v.fetch_dec_floor0(p), process_failed);
+}
+
+TEST(Failure, FailedAccessHasNoEffect) {
+  sim_proc p{0, cost_model::cc};
+  sim_var<int> v{7};
+  p.fail();
+  EXPECT_THROW(v.write(p, 99), process_failed);
+  p.resurrect();
+  EXPECT_EQ(v.read(p), 7);  // the write never happened
+}
+
+TEST(Failure, ResurrectRestoresOperation) {
+  sim_proc p{0, cost_model::cc};
+  sim_var<int> v{0};
+  p.fail();
+  EXPECT_THROW((void)v.read(p), process_failed);
+  p.resurrect();
+  EXPECT_EQ(v.read(p), 0);
+}
+
+TEST(Failure, ExceptionCarriesPid) {
+  sim_proc p{42, cost_model::cc};
+  sim_var<int> v{0};
+  p.fail();
+  try {
+    (void)v.read(p);
+    FAIL() << "expected process_failed";
+  } catch (const process_failed& f) {
+    EXPECT_EQ(f.pid, 42);
+  }
+}
+
+// --- counters ------------------------------------------------------------
+
+TEST(Counters, ResetClearsEverything) {
+  sim_proc p{0, cost_model::cc};
+  sim_var<int> v{0};
+  v.read(p);
+  v.write(p, 1);
+  p.reset_counters();
+  EXPECT_EQ(p.counters().remote, 0u);
+  EXPECT_EQ(p.counters().local, 0u);
+  EXPECT_EQ(p.counters().statements, 0u);
+}
+
+TEST(Counters, FlushCacheForcesMiss) {
+  sim_proc p{0, cost_model::cc};
+  sim_var<int> v{0};
+  v.read(p);
+  p.flush_cache();
+  v.read(p);
+  EXPECT_EQ(p.counters().remote, 2u);
+}
+
+}  // namespace
+}  // namespace kex

@@ -1,0 +1,168 @@
+// Unit tests for primitives/ops.h, kex/loc.h, common/math.h,
+// common/check.h and common/cacheline.h.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "common/math.h"
+#include "kex/loc.h"
+#include "platform/platform.h"
+#include "primitives/ops.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+// --- saturating decrement emulation ---------------------------------------
+
+TEST(FetchDecFloor0Emulated, Semantics) {
+  sim::proc p{0, cost_model::none};
+  sim::var<int> x{3};
+  EXPECT_EQ(fetch_and_decrement_floor0<sim>(x, p), 3);
+  EXPECT_EQ(fetch_and_decrement_floor0<sim>(x, p), 2);
+  EXPECT_EQ(fetch_and_decrement_floor0<sim>(x, p), 1);
+  EXPECT_EQ(fetch_and_decrement_floor0<sim>(x, p), 0);
+  EXPECT_EQ(fetch_and_decrement_floor0<sim>(x, p), 0);
+  EXPECT_EQ(x.read(p), 0);
+}
+
+TEST(FetchDecFloor0Emulated, NeverGoesNegativeConcurrently) {
+  // 6 threads hammer a counter of 50 slots 20 times each; the counter
+  // must end at exactly max(0, 50 - successful decrements) and never have
+  // been negative (checked via the success count).
+  sim::var<int> x{50};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> ts;
+  for (int pid = 0; pid < 6; ++pid) {
+    ts.emplace_back([&, pid] {
+      sim::proc p{pid, cost_model::none};
+      for (int i = 0; i < 20; ++i)
+        if (fetch_and_decrement_floor0<sim>(x, p) > 0) successes++;
+    });
+  }
+  for (auto& t : ts) t.join();
+  sim::proc p{0, cost_model::none};
+  EXPECT_EQ(successes.load(), 50);  // 120 attempts, 50 slots
+  EXPECT_EQ(x.read(p), 0);
+}
+
+TEST(NativeFetchDecFloor0, MatchesEmulationUnderConcurrency) {
+  sim::var<int> x{30};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> ts;
+  for (int pid = 0; pid < 5; ++pid) {
+    ts.emplace_back([&, pid] {
+      sim::proc p{pid, cost_model::none};
+      for (int i = 0; i < 20; ++i)
+        if (x.fetch_dec_floor0(p) > 0) successes++;
+    });
+  }
+  for (auto& t : ts) t.join();
+  sim::proc p{0, cost_model::none};
+  EXPECT_EQ(successes.load(), 30);
+  EXPECT_EQ(x.read(p), 0);
+}
+
+// --- test_and_set ----------------------------------------------------------
+
+TEST(TestAndSet, FirstWinsRestFail) {
+  sim::proc p{0, cost_model::none};
+  sim::var<int> bit{0};
+  EXPECT_FALSE(test_and_set<sim>(bit, p));  // was clear: success
+  EXPECT_TRUE(test_and_set<sim>(bit, p));   // already set
+  EXPECT_TRUE(test_and_set<sim>(bit, p));
+  clear_bit<sim>(bit, p);
+  EXPECT_FALSE(test_and_set<sim>(bit, p));
+}
+
+TEST(TestAndSet, ExactlyOneConcurrentWinner) {
+  for (int round = 0; round < 20; ++round) {
+    sim::var<int> bit{0};
+    std::atomic<int> winners{0};
+    std::vector<std::thread> ts;
+    for (int pid = 0; pid < 4; ++pid) {
+      ts.emplace_back([&, pid] {
+        sim::proc p{pid, cost_model::none};
+        if (!test_and_set<sim>(bit, p)) winners++;
+      });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+  }
+}
+
+// --- loc_pair packing -------------------------------------------------------
+
+TEST(LocPair, PackUnpackRoundTrip) {
+  for (std::uint32_t pid : {0u, 1u, 63u, 1000u}) {
+    for (std::uint32_t loc : {0u, 1u, 7u, 0xffffu}) {
+      loc_pair l{pid, loc};
+      EXPECT_EQ(unpack(pack(l)), l);
+    }
+  }
+}
+
+TEST(LocPair, DistinctPairsPackDistinct) {
+  EXPECT_NE(pack(loc_pair{1, 2}), pack(loc_pair{2, 1}));
+  EXPECT_NE(pack(loc_pair{0, 5}), pack(loc_pair{5, 0}));
+}
+
+// --- math helpers ------------------------------------------------------------
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(4, 8), 1);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(16), 4);
+  EXPECT_EQ(ceil_log2(17), 5);
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(5), 8);
+  EXPECT_EQ(next_pow2(64), 64);
+  EXPECT_EQ(next_pow2(65), 128);
+}
+
+// --- padded -------------------------------------------------------------------
+
+TEST(Padded, NoFalseSharing) {
+  padded<int> a[2];
+  auto delta = reinterpret_cast<char*>(&a[1]) - reinterpret_cast<char*>(&a[0]);
+  EXPECT_GE(static_cast<std::size_t>(delta), cacheline_size);
+  a[0].value = 1;
+  a[1].value = 2;
+  EXPECT_EQ(*a[0], 1);
+  EXPECT_EQ(*a[1], 2);
+}
+
+// --- KEX_CHECK ----------------------------------------------------------------
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    KEX_CHECK_MSG(1 == 2, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const invariant_violation& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  KEX_CHECK(2 + 2 == 4);
+  KEX_CHECK_MSG(true, "never shown");
+}
+
+}  // namespace
+}  // namespace kex

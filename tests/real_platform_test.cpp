@@ -1,0 +1,155 @@
+// The real platform (bare cache-line-aligned std::atomic) under stress:
+// the same safety/liveness properties, now on the configuration that
+// ships, with OS-scheduler timing instead of the simulator's hooks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/mcs_lock.h"
+#include "baselines/ya_lock.h"
+#include "kex/algorithms.h"
+#include "kex/any_kex.h"
+#include "renaming/k_assignment.h"
+#include "resilient/resilient.h"
+#include "runtime/cs_monitor.h"
+
+namespace kex {
+namespace {
+
+using real = real_platform;
+
+template <class KEx>
+void real_stress(int n, int k, int iterations) {
+  SCOPED_TRACE(::testing::Message() << "n=" << n << " k=" << k);
+  KEx alg(n, k);
+  cs_monitor monitor;
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      real::proc p{pid};
+      for (int i = 0; i < iterations; ++i) {
+        alg.acquire(p);
+        monitor.enter();
+        ASSERT_LE(monitor.occupancy(), k);
+        std::this_thread::yield();
+        monitor.exit();
+        alg.release(p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(monitor.max_occupancy(), k);
+  EXPECT_EQ(monitor.entries(),
+            static_cast<std::uint64_t>(n) * iterations);
+}
+
+template <class T>
+class RealPlatformSuite : public ::testing::Test {};
+
+using RealAlgorithms =
+    ::testing::Types<cc_inductive<real>, cc_tree<real>, cc_fast<real>,
+                     cc_graceful<real>, dsm_unbounded<real>,
+                     dsm_bounded<real>, dsm_tree<real>, dsm_fast<real>,
+                     dsm_graceful<real>>;
+TYPED_TEST_SUITE(RealPlatformSuite, RealAlgorithms);
+
+TYPED_TEST(RealPlatformSuite, StressSmall) {
+  real_stress<TypeParam>(4, 2, 300);
+}
+
+TYPED_TEST(RealPlatformSuite, StressMedium) {
+  real_stress<TypeParam>(8, 3, 150);
+}
+
+TYPED_TEST(RealPlatformSuite, StressK1) {
+  real_stress<TypeParam>(4, 1, 150);
+}
+
+// Larger shapes: deep trees and long chains on bare atomics.
+TEST(RealPlatformLarge, TreeN64K4) { real_stress<cc_tree<real>>(64, 4, 8); }
+TEST(RealPlatformLarge, FastPathN64K4) {
+  real_stress<cc_fast<real>>(64, 4, 8);
+}
+TEST(RealPlatformLarge, GracefulN32K2) {
+  real_stress<cc_graceful<real>>(32, 2, 10);
+}
+TEST(RealPlatformLarge, DsmFastN32K4) {
+  real_stress<dsm_fast<real>>(32, 4, 10);
+}
+TEST(RealPlatformLarge, McsN16) {
+  real_stress<baselines::mcs_lock<real>>(16, 1, 40);
+}
+TEST(RealPlatformLarge, YaN16) {
+  real_stress<baselines::ya_lock<real>>(16, 1, 40);
+}
+
+// k-assignment and a resilient object on bare atomics.
+TEST(RealPlatform, AssignmentUniqueNames) {
+  constexpr int n = 8, k = 3, iters = 150;
+  cc_assignment<real> asg(n, k);
+  std::vector<std::atomic<int>> holder(static_cast<std::size_t>(k));
+  for (auto& h : holder) h.store(-1);
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      real::proc p{pid};
+      for (int i = 0; i < iters; ++i) {
+        int name = asg.acquire(p);
+        int expected = -1;
+        if (name < 0 || name >= k ||
+            !holder[static_cast<std::size_t>(name)]
+                 .compare_exchange_strong(expected, pid))
+          violation.store(true);
+        std::this_thread::yield();
+        holder[static_cast<std::size_t>(name)].store(-1);
+        asg.release(p, name);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(RealPlatform, ResilientCounterExact) {
+  constexpr int n = 6, k = 2, iters = 200;
+  resilient_counter<real> counter(n, k);
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      real::proc p{pid};
+      for (int i = 0; i < iters; ++i) counter.add(p, 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  real::proc reader{0};
+  EXPECT_EQ(counter.read(reader), static_cast<long>(n) * iters);
+}
+
+TEST(RealPlatform, FactoryCatalogRuns) {
+  for (const auto& name : kex_catalog()) {
+    const bool k1_only = (name == "mcs" || name == "ya");
+    auto alg = make_kex<real>(name, 4, k1_only ? 1 : 2);
+    real::proc p{0};
+    alg.acquire(p);
+    alg.release(p);
+  }
+}
+
+// Fast-path introspection on the real platform.
+TEST(RealPlatform, FastPathHitRateSoloIsPerfect) {
+  cc_fast<real> f(8, 2);
+  real::proc p{0};
+  for (int i = 0; i < 100; ++i) {
+    f.acquire(p);
+    f.release(p);
+  }
+  EXPECT_EQ(f.fast_hits(), 100u);
+  EXPECT_EQ(f.slow_hits(), 0u);
+  EXPECT_DOUBLE_EQ(f.fast_hit_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace kex

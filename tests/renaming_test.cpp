@@ -1,0 +1,184 @@
+// Long-lived renaming (Figure 7) and (N,k)-assignment (Theorems 9/10):
+// names are unique among concurrent holders, drawn from exactly 0..k-1,
+// and may be obtained and released repeatedly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "kex/algorithms.h"
+#include "renaming/k_assignment.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+#include "runtime/workload.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+TEST(TasRenaming, SequentialNamesAreDense) {
+  tas_renaming<sim> ren(4);
+  sim::proc p{0, cost_model::cc};
+  // One process obtaining names one after another always gets 0.
+  for (int i = 0; i < 5; ++i) {
+    int name = ren.get_name(p);
+    EXPECT_EQ(name, 0);
+    ren.put_name(p, name);
+  }
+}
+
+TEST(TasRenaming, HeldNamesAreDistinctAndDense) {
+  constexpr int k = 5;
+  tas_renaming<sim> ren(k);
+  sim::proc p{0, cost_model::cc};
+  std::vector<int> held;
+  for (int i = 0; i < k; ++i) held.push_back(ren.get_name(p));
+  // k sequential grabs without release: exactly 0..k-1.
+  std::set<int> unique(held.begin(), held.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(k));
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), k - 1);
+  for (int name : held) ren.put_name(p, name);
+  // After releasing everything, 0 is available again.
+  EXPECT_EQ(ren.get_name(p), 0);
+}
+
+TEST(TasRenaming, LastNameNeedsNoBit) {
+  // k = 1: no bits at all; the only name is 0.
+  tas_renaming<sim> ren(1);
+  sim::proc p{0, cost_model::cc};
+  EXPECT_EQ(ren.get_name(p), 0);
+  ren.put_name(p, 0);
+  EXPECT_EQ(ren.get_name(p), 0);
+}
+
+TEST(TasRenaming, ReleaseValidatesRange) {
+  tas_renaming<sim> ren(3);
+  sim::proc p{0, cost_model::cc};
+  EXPECT_THROW(ren.put_name(p, 3), invariant_violation);
+  EXPECT_THROW(ren.put_name(p, -1), invariant_violation);
+}
+
+// The full k-assignment property under concurrency: at any instant the
+// held names are distinct and within 0..k-1.  A shared scoreboard of
+// name-holders (raw atomics, outside the cost model) checks uniqueness.
+template <class Asg>
+void check_assignment(int n, int k, int iterations,
+                      cost_model model = cost_model::cc) {
+  SCOPED_TRACE(::testing::Message() << "n=" << n << " k=" << k);
+  Asg asg(n, k);
+  process_set<sim> procs(n, model);
+  cs_monitor monitor;
+  std::vector<std::atomic<int>> holder(static_cast<std::size_t>(k));
+  for (auto& h : holder) h.store(-1);
+  std::atomic<bool> violation{false};
+
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < iterations; ++i) {
+      int name = asg.acquire(p);
+      monitor.enter();
+      if (name < 0 || name >= k) violation.store(true);
+      int expected = -1;
+      if (!holder[static_cast<std::size_t>(name)].compare_exchange_strong(
+              expected, p.id)) {
+        violation.store(true);  // someone else holds this name
+      }
+      std::this_thread::yield();
+      holder[static_cast<std::size_t>(name)].store(-1);
+      monitor.exit();
+      asg.release(p, name);
+    }
+  });
+
+  EXPECT_EQ(result.completed, n);
+  EXPECT_FALSE(violation.load()) << "duplicate or out-of-range name";
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+TEST(KAssignment, CcFastSmall) {
+  check_assignment<cc_assignment<sim>>(4, 2, 80);
+}
+TEST(KAssignment, CcFastMedium) {
+  check_assignment<cc_assignment<sim>>(8, 3, 50);
+}
+TEST(KAssignment, CcFastKEqualsOne) {
+  check_assignment<cc_assignment<sim>>(4, 1, 60);
+}
+TEST(KAssignment, DsmFast) {
+  check_assignment<dsm_assignment<sim>>(6, 2, 50, cost_model::dsm);
+}
+TEST(KAssignment, OverInductiveChain) {
+  check_assignment<k_assignment<sim, cc_inductive<sim>>>(6, 3, 50);
+}
+TEST(KAssignment, OverTree) {
+  check_assignment<k_assignment<sim, cc_tree<sim>>>(8, 2, 50);
+}
+TEST(KAssignment, OverGraceful) {
+  check_assignment<k_assignment<sim, cc_graceful<sim>>>(8, 2, 50);
+}
+TEST(KAssignment, OverDsmBounded) {
+  check_assignment<k_assignment<sim, dsm_bounded<sim>>>(6, 3, 40,
+                                                        cost_model::dsm);
+}
+
+// Long-lived: the same instance serves many epochs of use.
+TEST(KAssignment, LongLivedAcrossEpochs) {
+  cc_assignment<sim> asg(6, 2);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    process_set<sim> procs(6, cost_model::cc);
+    auto result = run_workers<sim>(procs, all_pids(6), [&](sim::proc& p) {
+      for (int i = 0; i < 10; ++i) {
+        int name = asg.acquire(p);
+        ASSERT_GE(name, 0);
+        ASSERT_LT(name, 2);
+        asg.release(p, name);
+      }
+    });
+    ASSERT_EQ(result.completed, 6) << "epoch " << epoch;
+  }
+}
+
+// Resilience of the combination: a holder that crashes with a name leaks
+// it, consuming one concurrency slot; the other processes keep cycling
+// with the remaining names.
+TEST(KAssignment, ToleratesCrashedNameHolder) {
+  constexpr int n = 6, k = 3;
+  cc_assignment<sim> asg(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    if (p.id == 0) {
+      int name = asg.acquire(p);
+      (void)name;
+      p.fail();
+      asg.release(p, name);
+      return;
+    }
+    for (int i = 0; i < 40; ++i) {
+      int name = asg.acquire(p);
+      ASSERT_GE(name, 0);
+      ASSERT_LT(name, k);
+      asg.release(p, name);
+    }
+  });
+  EXPECT_EQ(result.crashed, 1);
+  EXPECT_EQ(result.completed, n - 1);
+}
+
+// RAII session wrapper.
+TEST(NameSession, AcquiresAndReleases) {
+  cc_assignment<sim> asg(4, 2);
+  sim::proc p{0, cost_model::cc};
+  {
+    name_session<sim, cc_fast<sim>> s(asg, p);
+    EXPECT_GE(s.name(), 0);
+    EXPECT_LT(s.name(), 2);
+  }
+  // Released: a fresh session gets name 0 again.
+  name_session<sim, cc_fast<sim>> s2(asg, p);
+  EXPECT_EQ(s2.name(), 0);
+}
+
+}  // namespace
+}  // namespace kex

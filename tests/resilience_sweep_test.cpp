@@ -1,0 +1,122 @@
+// Parameterized resilience matrix: (shape × failure count × failure
+// location) for the flagship algorithms, plus exhaustive-schedule
+// exploration of k-assignment under crashes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "kex/algorithms.h"
+#include "kex_common.h"
+#include "platform/stepper.h"
+#include "renaming/k_assignment.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+using kex::testing::check_resilience;
+using kex::testing::fail_point;
+
+// (n, k, failures, where)
+using config = std::tuple<int, int, int, fail_point>;
+
+std::string config_name(const ::testing::TestParamInfo<config>& info) {
+  auto [n, k, f, where] = info.param;
+  const char* w = where == fail_point::in_entry  ? "Entry"
+                  : where == fail_point::in_cs   ? "Cs"
+                                                 : "Exit";
+  return "n" + std::to_string(n) + "k" + std::to_string(k) + "f" +
+         std::to_string(f) + w;
+}
+
+class ResilienceMatrix : public ::testing::TestWithParam<config> {};
+
+TEST_P(ResilienceMatrix, CcFast) {
+  auto [n, k, f, where] = GetParam();
+  check_resilience<cc_fast<sim>>(n, k, f, where, 20);
+}
+TEST_P(ResilienceMatrix, CcTree) {
+  auto [n, k, f, where] = GetParam();
+  check_resilience<cc_tree<sim>>(n, k, f, where, 20);
+}
+TEST_P(ResilienceMatrix, CcGraceful) {
+  auto [n, k, f, where] = GetParam();
+  check_resilience<cc_graceful<sim>>(n, k, f, where, 20);
+}
+TEST_P(ResilienceMatrix, DsmBounded) {
+  auto [n, k, f, where] = GetParam();
+  check_resilience<dsm_bounded<sim>>(n, k, f, where, 20,
+                                     cost_model::dsm);
+}
+TEST_P(ResilienceMatrix, DsmFast) {
+  auto [n, k, f, where] = GetParam();
+  check_resilience<dsm_fast<sim>>(n, k, f, where, 20, cost_model::dsm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ResilienceMatrix,
+    ::testing::Values(
+        config{4, 2, 1, fail_point::in_cs},
+        config{4, 2, 1, fail_point::in_entry},
+        config{4, 2, 1, fail_point::in_exit},
+        config{6, 3, 2, fail_point::in_cs},
+        config{6, 3, 2, fail_point::in_entry},
+        config{6, 3, 2, fail_point::in_exit},
+        config{9, 4, 3, fail_point::in_cs},
+        config{9, 4, 3, fail_point::in_entry},
+        config{10, 5, 4, fail_point::in_cs},
+        config{8, 2, 1, fail_point::in_cs},
+        config{12, 3, 2, fail_point::in_cs}),
+    config_name);
+
+// Exhaustive schedules over k-assignment with a crash: process 0 dies at
+// statement offsets spanning exclusion entry + renaming; survivors must
+// complete with valid, unique names under every schedule prefix.
+TEST(ExploreAssignment, CrashSweepExhaustive) {
+  constexpr int n = 3, k = 2;
+  for (std::uint64_t crash_at = 1; crash_at <= 8; ++crash_at) {
+    std::atomic<int> survivors_done{0};
+    std::atomic<bool> bad_name{false};
+    auto make = [&] {
+      survivors_done.store(0);
+      auto asg =
+          std::make_shared<k_assignment<sim, cc_inductive<sim>>>(n, k);
+      auto holder = std::make_shared<std::array<std::atomic<int>, 2>>();
+      (*holder)[0].store(-1);
+      (*holder)[1].store(-1);
+      std::vector<std::function<void(sim::proc&)>> scripts;
+      scripts.emplace_back([asg, crash_at](sim::proc& p) {
+        p.fail_after(crash_at);
+        int name = asg->acquire(p);
+        asg->release(p, name);
+      });
+      for (int s = 0; s < 2; ++s) {
+        scripts.emplace_back(
+            [asg, holder, &survivors_done, &bad_name, k](sim::proc& p) {
+              int name = asg->acquire(p);
+              if (name < 0 || name >= k) bad_name.store(true);
+              int expected = -1;
+              if (!(*holder)[static_cast<std::size_t>(name)]
+                       .compare_exchange_strong(expected, p.id))
+                bad_name.store(true);
+              (*holder)[static_cast<std::size_t>(name)].store(-1);
+              asg->release(p, name);
+              survivors_done.fetch_add(1);
+            });
+      }
+      return scripts;
+    };
+    explore_all(3, 4, make, [&](const explore_outcome& o) {
+      ASSERT_FALSE(o.deadlocked)
+          << "crash_at=" << crash_at << " schedule " << o.schedule;
+      ASSERT_EQ(survivors_done.load(), 2)
+          << "crash_at=" << crash_at << " schedule " << o.schedule;
+      ASSERT_FALSE(bad_name.load())
+          << "crash_at=" << crash_at << " schedule " << o.schedule;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace kex

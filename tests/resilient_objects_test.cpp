@@ -1,0 +1,208 @@
+// The paper's methodology end to end: (k-1)-resilient shared objects built
+// from wait-free k-process cores inside a k-assignment wrapper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "resilient/resilient.h"
+#include "runtime/process_group.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+// --- wf_counter core (unit) ---------------------------------------------
+
+TEST(WfCounter, SequentialSemantics) {
+  wf_counter<sim> c(3);
+  sim::proc p{0, cost_model::cc};
+  EXPECT_EQ(c.read(p), 0);
+  c.add(p, 0, 5);
+  c.add(p, 1, 7);
+  c.add(p, 2, -2);
+  EXPECT_EQ(c.read(p), 10);
+  EXPECT_THROW(c.add(p, 3, 1), invariant_violation);
+}
+
+// --- resilient_counter ----------------------------------------------------
+
+TEST(ResilientCounter, CountsExactlyUnderContention) {
+  constexpr int n = 6, k = 2, iters = 50;
+  resilient_counter<sim> counter(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < iters; ++i) counter.add(p, 1);
+  });
+  EXPECT_EQ(result.completed, n);
+  sim::proc reader{0, cost_model::cc};
+  EXPECT_EQ(counter.read(reader), static_cast<long>(n) * iters);
+}
+
+TEST(ResilientCounter, SurvivesKMinus1Crashes) {
+  constexpr int n = 7, k = 3, iters = 30;
+  resilient_counter<sim> counter(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  std::atomic<long> survivor_adds{0};
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    if (p.id < k - 1) {
+      // Crash while holding a name inside the wrapper.
+      counter.add(p, 1);  // one clean operation first
+      survivor_adds.fetch_add(1);
+      p.fail_after(3);    // dies a few statements into the next operation
+      counter.add(p, 1000000);
+      ADD_FAILURE() << "doomed process survived";
+      return;
+    }
+    for (int i = 0; i < iters; ++i) {
+      counter.add(p, 1);
+      survivor_adds.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(result.crashed, k - 1);
+  EXPECT_EQ(result.completed, n - (k - 1));
+  sim::proc reader{n - 1, cost_model::cc};
+  // Every completed add is visible; the crashed adds of 1000000 must not
+  // be (they died before the slot update) — but a crash *after* the slot
+  // update with the release unfinished would be visible, so we assert the
+  // meaningful invariant: total >= survivor adds and no torn values.
+  long total = counter.read(reader);
+  EXPECT_GE(total, survivor_adds.load());
+  EXPECT_LT(total, 1000000);
+}
+
+// --- resilient_register ----------------------------------------------------
+
+TEST(ResilientRegister, FetchAddLinearizes) {
+  constexpr int n = 5, k = 2, iters = 40;
+  resilient_register<sim> reg(n, k, 0);
+  process_set<sim> procs(n, cost_model::cc);
+  std::vector<std::vector<long>> seen(static_cast<std::size_t>(n));
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < iters; ++i)
+      seen[static_cast<std::size_t>(p.id)].push_back(reg.fetch_add(p, 1));
+  });
+  EXPECT_EQ(result.completed, n);
+  // All returned pre-values are distinct and cover 0..n*iters-1.
+  std::vector<long> all;
+  for (auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(n) * iters);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    ASSERT_EQ(all[i], static_cast<long>(i)) << "duplicate or gap";
+  sim::proc reader{0, cost_model::cc};
+  EXPECT_EQ(reg.read(reader), static_cast<long>(n) * iters);
+}
+
+TEST(ResilientRegister, WriteReadRoundTrip) {
+  resilient_register<sim> reg(4, 2, 42);
+  sim::proc p{0, cost_model::cc};
+  EXPECT_EQ(reg.read(p), 42);
+  reg.write(p, 7);
+  EXPECT_EQ(reg.read(p), 7);
+}
+
+// --- resilient_queue -------------------------------------------------------
+
+TEST(ResilientQueue, FifoPerProducerAndConservation) {
+  constexpr int n = 6, k = 2, per_producer = 25;
+  resilient_queue<sim> q(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  // pids 0..2 produce tagged values, pids 3..5 consume.
+  std::vector<std::vector<long>> consumed(static_cast<std::size_t>(n));
+  std::atomic<int> produced{0};
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    if (p.id < 3) {
+      for (int i = 0; i < per_producer; ++i) {
+        q.enqueue(p, static_cast<long>(p.id) * 1000 + i);
+        produced.fetch_add(1);
+      }
+    } else {
+      int got = 0;
+      while (got < per_producer) {
+        auto [ok, v] = q.dequeue(p);
+        if (ok) {
+          consumed[static_cast<std::size_t>(p.id)].push_back(v);
+          ++got;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  // Conservation: every produced value consumed exactly once.
+  std::map<long, int> counts;
+  for (auto& v : consumed)
+    for (long x : v) counts[x]++;
+  EXPECT_EQ(counts.size(), static_cast<std::size_t>(3) * per_producer);
+  for (auto& [value, count] : counts) {
+    EXPECT_EQ(count, 1) << "value " << value << " consumed " << count
+                        << " times";
+  }
+  // Per-producer FIFO: for each producer tag, the i-th consumed value of
+  // that tag (across all consumers, in dequeue order per consumer) is
+  // increasing within each consumer's local sequence.
+  for (auto& v : consumed) {
+    std::map<long, long> last_of_tag;
+    for (long x : v) {
+      long tag = x / 1000;
+      auto it = last_of_tag.find(tag);
+      if (it != last_of_tag.end()) {
+        EXPECT_LT(it->second, x) << "per-producer FIFO violated";
+      }
+      last_of_tag[tag] = x;
+    }
+  }
+}
+
+TEST(ResilientQueue, EmptyDequeue) {
+  resilient_queue<sim> q(4, 2);
+  sim::proc p{0, cost_model::cc};
+  auto [ok, v] = q.dequeue(p);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(v, 0);
+  q.enqueue(p, 17);
+  auto [ok2, v2] = q.dequeue(p);
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(v2, 17);
+}
+
+TEST(ResilientQueue, SurvivesCrashMidOperation) {
+  constexpr int n = 5, k = 2;
+  resilient_queue<sim> q(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    if (p.id == 0) {
+      q.enqueue(p, 1);
+      p.fail_after(5);  // dies inside its next operation
+      q.enqueue(p, 2);
+      return;
+    }
+    for (int i = 0; i < 20; ++i) {
+      q.enqueue(p, 100 + i);
+      (void)q.dequeue(p);
+    }
+  });
+  EXPECT_EQ(result.crashed, 1);
+  EXPECT_EQ(result.completed, n - 1);
+}
+
+// The wrapper alone: the functor runs with a valid name and its value is
+// returned.
+TEST(ResilientWrapper, PassesNameAndReturnsValue) {
+  resilient_wrapper<sim> w(4, 2);
+  sim::proc p{0, cost_model::cc};
+  int got_name = -1;
+  int out = w.with_name(p, [&](int name) {
+    got_name = name;
+    return name + 100;
+  });
+  EXPECT_EQ(got_name, 0);
+  EXPECT_EQ(out, 100);
+}
+
+}  // namespace
+}  // namespace kex

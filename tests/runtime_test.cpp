@@ -1,0 +1,186 @@
+// The runtime harness itself: worker orchestration, the RMR meter, table
+// rendering, workload helpers, and the cs_guard / pid helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kex/algorithms.h"
+#include "runtime/process_group.h"
+#include "runtime/rmr_meter.h"
+#include "runtime/rmr_report.h"
+#include "runtime/workload.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+// --- run_workers -----------------------------------------------------------
+
+TEST(RunWorkers, CountsCompletions) {
+  process_set<sim> procs(4, cost_model::none);
+  auto r = run_workers<sim>(procs, all_pids(4), [](sim::proc&) {});
+  EXPECT_EQ(r.completed, 4);
+  EXPECT_EQ(r.crashed, 0);
+}
+
+TEST(RunWorkers, CountsCrashes) {
+  process_set<sim> procs(4, cost_model::none);
+  sim::var<int> v{0};
+  auto r = run_workers<sim>(procs, all_pids(4), [&](sim::proc& p) {
+    if (p.id < 2) {
+      p.fail();
+      (void)v.read(p);  // throws process_failed
+    }
+  });
+  EXPECT_EQ(r.completed, 2);
+  EXPECT_EQ(r.crashed, 2);
+}
+
+TEST(RunWorkers, PropagatesRealErrors) {
+  process_set<sim> procs(2, cost_model::none);
+  EXPECT_THROW(run_workers<sim>(procs, all_pids(2),
+                                [](sim::proc& p) {
+                                  if (p.id == 1)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(RunWorkers, SubsetOfPids) {
+  process_set<sim> procs(6, cost_model::none);
+  std::atomic<int> mask{0};
+  run_workers<sim>(procs, {1, 3, 5}, [&](sim::proc& p) {
+    mask.fetch_or(1 << p.id);
+  });
+  EXPECT_EQ(mask.load(), (1 << 1) | (1 << 3) | (1 << 5));
+}
+
+TEST(PidHelpers, AllAndFirst) {
+  EXPECT_EQ(all_pids(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(first_pids(2), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(all_pids(0).empty());
+}
+
+// --- rmr meter ----------------------------------------------------------------
+
+TEST(RmrMeter, SoloCountsExactCost) {
+  // One process, CC model: cc_inductive(2,1) has one level; warm solo
+  // cycles cost exactly: entry FAI (1) + exit FAI + write Q (2) = 3.
+  cc_inductive<sim> alg(2, 1);
+  auto r = measure_rmr(alg, 1, 20, cost_model::cc, /*cs_yields=*/0);
+  EXPECT_EQ(r.pairs, 20u);
+  EXPECT_EQ(r.max_occupancy, 1);
+  EXPECT_EQ(r.max_pair, 3u);
+  EXPECT_DOUBLE_EQ(r.mean_pair, 3.0);
+}
+
+TEST(RmrMeter, RejectsBadParameters) {
+  cc_inductive<sim> alg(2, 1);
+  EXPECT_THROW(measure_rmr(alg, 0, 10, cost_model::cc),
+               invariant_violation);
+  EXPECT_THROW(measure_rmr(alg, 1, 0, cost_model::cc),
+               invariant_violation);
+}
+
+TEST(RmrMeter, TotalsAreSumOfPairs) {
+  cc_inductive<sim> alg(3, 1);
+  auto r = measure_rmr(alg, 1, 10, cost_model::cc, 0);
+  EXPECT_EQ(r.total_remote,
+            static_cast<std::uint64_t>(r.mean_pair * 10 + 0.5));
+}
+
+// --- table rendering -------------------------------------------------------------
+
+TEST(Table, RendersAlignedMarkdown) {
+  table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+  EXPECT_NE(out.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(Table, PadsMissingAndDropsExtraCells) {
+  table t({"a", "b"});
+  t.add_row({"x"});            // missing cell renders empty
+  t.add_row({"1", "2", "3"});  // extra cell dropped
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_EQ(out.find("3"), std::string::npos);
+}
+
+TEST(Formatting, Numbers) {
+  EXPECT_EQ(fmt_u64(0), "0");
+  EXPECT_EQ(fmt_u64(123456789ULL), "123456789");
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 1), "2.0");
+}
+
+// --- workload helpers ---------------------------------------------------------------
+
+TEST(Workload, XorshiftDeterministicPerSeed) {
+  xorshift a(42), b(42), c(43);
+  for (int i = 0; i < 10; ++i) {
+    auto va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  bool differs = false;
+  xorshift a2(42);
+  for (int i = 0; i < 10; ++i)
+    if (a2.next() != c.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, XorshiftBounds) {
+  xorshift r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(10), 10u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Workload, ZeroSeedIsRemapped) {
+  xorshift r(0);
+  EXPECT_NE(r.next(), 0u);  // a zero state would be absorbing
+}
+
+TEST(Workload, SpinWorkRuns) {
+  spin_work(0);
+  spin_work(1000);  // no crash, no hang; effects are opaque by design
+}
+
+// --- cs_guard ----------------------------------------------------------------------
+
+TEST(CsGuard, ReleasesOnScopeExit) {
+  cc_inductive<sim> alg(2, 1);
+  sim::proc p{0, cost_model::cc};
+  sim::proc q{1, cost_model::cc};
+  {
+    cs_guard<cc_inductive<sim>, sim> g(alg, p);
+  }
+  // q can get in immediately: p's guard released.
+  std::atomic<bool> ok{false};
+  std::thread t([&] {
+    cs_guard<cc_inductive<sim>, sim> g(alg, q);
+    ok.store(true);
+  });
+  t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(CsGuard, SwallowsCrashDuringRelease) {
+  cc_inductive<sim> alg(2, 1);
+  sim::proc p{0, cost_model::cc};
+  {
+    cs_guard<cc_inductive<sim>, sim> g(alg, p);
+    p.fail();  // the guard's release will throw process_failed internally
+  }            // ...and must not terminate
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace kex

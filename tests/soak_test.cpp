@@ -1,0 +1,157 @@
+// Soak: longer mixed workloads over the flagship configurations —
+// sustained churn, repeated failure/recovery epochs, think-time jitter —
+// sized to stay inside CI budgets while catching slow-burn issues
+// (leaked slots, stuck wakeups, drifting counters) that short tests miss.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "renaming/k_assignment.h"
+#include "resilient/more_objects.h"
+#include "resilient/resilient.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+#include "runtime/workload.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+TEST(Soak, FastPathSustainedChurn) {
+  constexpr int n = 10, k = 3, iters = 400;
+  cc_fast<sim> lock(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    xorshift rng(static_cast<std::uint32_t>(p.id) * 2654435761u + 1);
+    for (int i = 0; i < iters; ++i) {
+      lock.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), k);
+      spin_work(rng.next_below(64));
+      monitor.exit();
+      lock.release(p);
+      spin_work(rng.next_below(128));
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_EQ(monitor.entries(), static_cast<std::uint64_t>(n) * iters);
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+TEST(Soak, DsmBoundedLocationRecyclingLongRun) {
+  // Figure 6's whole point: bounded locations under indefinite reuse.
+  constexpr int n = 6, k = 2, iters = 500;
+  dsm_bounded<sim> lock(n, k);
+  process_set<sim> procs(n, cost_model::dsm);
+  cs_monitor monitor;
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < iters; ++i) {
+      lock.acquire(p);
+      monitor.enter();
+      ASSERT_LE(monitor.occupancy(), k);
+      std::this_thread::yield();
+      monitor.exit();
+      lock.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_LE(monitor.max_occupancy(), k);
+}
+
+TEST(Soak, AssignmentEpochsWithCrashesAndFreshProcesses) {
+  // Multiple epochs against one long-lived assignment instance; each
+  // epoch crashes one process inside the wrapper.  k = 4 tolerates three
+  // crashes; epochs use disjoint doomed pids so the budget is respected.
+  constexpr int n = 10, k = 4;
+  cc_assignment<sim> asg(n, k);
+  int crashed_so_far = 0;
+  for (int epoch = 0; epoch < k - 1; ++epoch) {
+    process_set<sim> procs(n, cost_model::cc);
+    std::vector<int> pids;
+    for (int pid = crashed_so_far; pid < n; ++pid) pids.push_back(pid);
+    auto result = run_workers<sim>(procs, pids, [&](sim::proc& p) {
+      if (p.id == crashed_so_far) {
+        int name = asg.acquire(p);
+        (void)name;
+        p.fail();
+        asg.release(p, name);
+        return;
+      }
+      for (int i = 0; i < 60; ++i) {
+        int name = asg.acquire(p);
+        ASSERT_GE(name, 0);
+        ASSERT_LT(name, k);
+        asg.release(p, name);
+      }
+    });
+    EXPECT_EQ(result.crashed, 1) << "epoch " << epoch;
+    EXPECT_EQ(result.completed, static_cast<int>(pids.size()) - 1);
+    ++crashed_so_far;
+  }
+}
+
+TEST(Soak, ResilientObjectsMixedTraffic) {
+  constexpr int n = 8, k = 3, iters = 120;
+  resilient_counter<sim> counter(n, k);
+  resilient_kv<sim> kv(n, k);
+  resilient_stack<sim> stack(n, k);
+  process_set<sim> procs(n, cost_model::cc);
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    xorshift rng(static_cast<std::uint32_t>(p.id) + 99);
+    for (int i = 0; i < iters; ++i) {
+      switch (rng.next_below(4)) {
+        case 0:
+          counter.add(p, 1);
+          break;
+        case 1:
+          kv.put(p, rng.next_below(8), i);
+          break;
+        case 2:
+          stack.push(p, i);
+          break;
+        default:
+          (void)stack.pop(p);
+          break;
+      }
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  sim::proc reader{0, cost_model::cc};
+  EXPECT_GE(counter.read(reader), 0);
+  EXPECT_LE(kv.size(reader), 8u);
+}
+
+TEST(Soak, GracefulUnderOscillatingContention) {
+  // Contention swings between 2 and 10 across phases against one
+  // instance; slots must never leak across phases.
+  constexpr int n = 10, k = 2;
+  cc_graceful<sim> lock(n, k);
+  for (int phase = 0; phase < 6; ++phase) {
+    int c = (phase % 2 == 0) ? 2 : 10;
+    process_set<sim> procs(n, cost_model::cc);
+    cs_monitor monitor;
+    auto result = run_workers<sim>(procs, first_pids(c),
+                                   [&](sim::proc& p) {
+                                     for (int i = 0; i < 60; ++i) {
+                                       lock.acquire(p);
+                                       monitor.enter();
+                                       ASSERT_LE(monitor.occupancy(), k);
+                                       monitor.exit();
+                                       lock.release(p);
+                                     }
+                                   });
+    ASSERT_EQ(result.completed, c) << "phase " << phase;
+    ASSERT_LE(monitor.max_occupancy(), k);
+  }
+  // After all phases a solo acquisition still takes the cheap path.
+  sim::proc fresh{0, cost_model::cc};
+  fresh.reset_counters();
+  lock.acquire(fresh);
+  lock.release(fresh);
+  EXPECT_LE(fresh.counters().remote, 16u);
+}
+
+}  // namespace
+}  // namespace kex

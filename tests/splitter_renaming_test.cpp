@@ -1,0 +1,185 @@
+// The read/write-only one-shot renaming grid ([13]-lineage): per-epoch
+// name uniqueness, name-space size k(k+1)/2, epoch reset, and behavior
+// under chaos schedules — alongside the Figure-7 long-lived test-and-set
+// renaming for contrast.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "kex/algorithms.h"
+#include "renaming/splitter_renaming.h"
+#include "renaming/tas_renaming.h"
+#include "runtime/process_group.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+
+TEST(SplitterRenaming, NameSpaceSize) {
+  EXPECT_EQ(splitter_renaming<sim>(1).name_space(), 1);
+  EXPECT_EQ(splitter_renaming<sim>(2).name_space(), 3);
+  EXPECT_EQ(splitter_renaming<sim>(3).name_space(), 6);
+  EXPECT_EQ(splitter_renaming<sim>(5).name_space(), 15);
+}
+
+TEST(SplitterRenaming, SoloGetsName0) {
+  splitter_renaming<sim> ren(4);
+  sim::proc p{0, cost_model::cc};
+  EXPECT_EQ(ren.get_name(p), 0);  // stops at splitter (0,0)
+}
+
+TEST(SplitterRenaming, PositionRoundTrip) {
+  splitter_renaming<sim> ren(4);
+  EXPECT_EQ(ren.position_of(0), (std::pair{0, 0}));
+  EXPECT_EQ(ren.position_of(1), (std::pair{0, 1}));
+  EXPECT_EQ(ren.position_of(2), (std::pair{1, 0}));
+  EXPECT_EQ(ren.position_of(5), (std::pair{2, 0}));
+  EXPECT_THROW(ren.position_of(10), invariant_violation);
+}
+
+TEST(SplitterRenaming, SequentialEpochNamesDistinct) {
+  constexpr int k = 4;
+  splitter_renaming<sim> ren(k);
+  sim::proc p{0, cost_model::cc};
+  std::set<int> held;
+  for (int i = 0; i < k; ++i) {
+    int name = ren.get_name(p);
+    EXPECT_TRUE(held.insert(name).second) << "duplicate name " << name;
+    EXPECT_LT(name, ren.name_space());
+  }
+  ren.reset(p);
+  EXPECT_EQ(ren.get_name(p), 0);  // fresh epoch
+}
+
+// Concurrent per-epoch uniqueness: k processes each grab one name.
+void epoch_uniqueness_run(int k, std::uint32_t chaos) {
+  SCOPED_TRACE(::testing::Message() << "k=" << k << " chaos=" << chaos);
+  splitter_renaming<sim> ren(k);
+  process_set<sim> procs(k, cost_model::cc);
+  std::vector<std::atomic<int>> got(
+      static_cast<std::size_t>(ren.name_space()));
+  for (auto& g : got) g.store(0);
+  std::atomic<bool> out_of_range{false};
+
+  auto result = run_workers<sim>(procs, all_pids(k), [&](sim::proc& p) {
+    if (chaos)
+      p.set_chaos(chaos * 131u + static_cast<std::uint32_t>(p.id), 250);
+    int name = ren.get_name(p);
+    if (name < 0 || name >= ren.name_space())
+      out_of_range.store(true);
+    else
+      got[static_cast<std::size_t>(name)].fetch_add(1);
+  });
+  EXPECT_EQ(result.completed, k);
+  EXPECT_FALSE(out_of_range.load());
+  int total = 0;
+  for (auto& g : got) {
+    EXPECT_LE(g.load(), 1) << "a name was assigned twice in one epoch";
+    total += g.load();
+  }
+  EXPECT_EQ(total, k);
+}
+
+TEST(SplitterRenaming, EpochUniqueK2) { epoch_uniqueness_run(2, 0); }
+TEST(SplitterRenaming, EpochUniqueK3) { epoch_uniqueness_run(3, 0); }
+TEST(SplitterRenaming, EpochUniqueK5) { epoch_uniqueness_run(5, 0); }
+TEST(SplitterRenaming, EpochUniqueChaosSweep) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed)
+    epoch_uniqueness_run(4, seed);
+}
+
+// Many epochs with quiescent resets in between.
+TEST(SplitterRenaming, RepeatedEpochsWithReset) {
+  constexpr int k = 3;
+  splitter_renaming<sim> ren(k);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    epoch_uniqueness_run(k, 0);  // fresh instance per run above; also run
+    // the shared instance through an epoch:
+    process_set<sim> procs(k, cost_model::cc);
+    std::vector<std::atomic<int>> got(
+        static_cast<std::size_t>(ren.name_space()));
+    for (auto& g : got) g.store(0);
+    auto result = run_workers<sim>(procs, all_pids(k), [&](sim::proc& p) {
+      got[static_cast<std::size_t>(ren.get_name(p))].fetch_add(1);
+    });
+    ASSERT_EQ(result.completed, k);
+    for (auto& g : got) ASSERT_LE(g.load(), 1) << "epoch " << epoch;
+    sim::proc janitor{0, cost_model::cc};
+    ren.reset(janitor);
+  }
+}
+
+// Documented limitation, demonstrated: with concurrent release+reacquire
+// (long-lived use), the naive grid *can* duplicate the boundary name.
+// This test documents the failure mode the header explains — it asserts
+// that IF a duplicate occurs it is at the diagonal, and never fails the
+// suite when the schedule happens to be benign.
+TEST(SplitterRenaming, LongLivedMisuseFailsOnlyAtDiagonal) {
+  constexpr int n = 6, k = 3;
+  cc_fast<sim> excl(n, k);
+  splitter_renaming<sim> ren(k);
+  process_set<sim> procs(n, cost_model::cc);
+  std::vector<std::atomic<int>> holder(
+      static_cast<std::size_t>(ren.name_space()));
+  for (auto& h : holder) h.store(-1);
+  std::atomic<int> dup_name{-1};
+  run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    p.set_chaos(977u + static_cast<std::uint32_t>(p.id), 200);
+    for (int i = 0; i < 20; ++i) {
+      excl.acquire(p);
+      int name = ren.get_name(p);
+      int expected = -1;
+      if (!holder[static_cast<std::size_t>(name)].compare_exchange_strong(
+              expected, p.id))
+        dup_name.store(name);
+      std::this_thread::yield();
+      holder[static_cast<std::size_t>(name)].store(-1);
+      // misuse: per-splitter reset as if the grid were long-lived
+      auto [r, d] = ren.position_of(name);
+      (void)r;
+      (void)d;
+      excl.release(p);
+    }
+  });
+  if (dup_name.load() >= 0) {
+    auto [r, d] = ren.position_of(dup_name.load());
+    EXPECT_EQ(r + d, k - 1)
+        << "duplicates from long-lived misuse concentrate on the diagonal";
+  }
+}
+
+// Contrast with Figure 7: the TAS renaming is long-lived and dense.
+TEST(RenamingContrast, TasIsLongLivedAndDense) {
+  constexpr int n = 6, k = 3, iters = 30;
+  cc_fast<sim> excl(n, k);
+  tas_renaming<sim> tas(k);
+  process_set<sim> procs(n, cost_model::cc);
+  std::atomic<int> tas_max{-1};
+  std::atomic<bool> violation{false};
+  std::vector<std::atomic<int>> holder(static_cast<std::size_t>(k));
+  for (auto& h : holder) h.store(-1);
+  auto result = run_workers<sim>(procs, all_pids(n), [&](sim::proc& p) {
+    for (int i = 0; i < iters; ++i) {
+      excl.acquire(p);
+      int a = tas.get_name(p);
+      int expected = -1;
+      if (a < 0 || a >= k ||
+          !holder[static_cast<std::size_t>(a)].compare_exchange_strong(
+              expected, p.id))
+        violation.store(true);
+      for (int cur = tas_max.load(); a > cur;)
+        if (tas_max.compare_exchange_weak(cur, a)) break;
+      holder[static_cast<std::size_t>(a)].store(-1);
+      tas.put_name(p, a);
+      excl.release(p);
+    }
+  });
+  EXPECT_EQ(result.completed, n);
+  EXPECT_FALSE(violation.load());
+  EXPECT_LT(tas_max.load(), k);  // dense: 0..k-1 across hundreds of reuses
+}
+
+}  // namespace
+}  // namespace kex
