@@ -4,9 +4,11 @@
 // Theorem 3 performance jumps when contention first exceeds k, Theorem 4
 // grows ~linearly in ceil(c/k), and both beat the baselines everywhere.
 #include <iostream>
+#include <string>
 
 #include "baselines/atomic_queue_kex.h"
 #include "kex/algorithms.h"
+#include "runtime/bench_json.h"
 #include "runtime/bounds.h"
 #include "runtime/rmr_meter.h"
 #include "runtime/rmr_report.h"
@@ -24,7 +26,12 @@ constexpr int CONTENTION[] = {1, 2, 3, 4, 6, 8, 12, 16};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_graceful");
+  out.label("n", std::to_string(N));
+  out.label("k", std::to_string(K));
+
   std::cout << "=== Theorems 4/8: graceful degradation with contention ===\n"
             << "N=" << N << " k=" << K
             << "; mean (max) remote refs per acquisition at contention c\n\n";
@@ -48,6 +55,16 @@ int main() {
                      kex::fmt_u64(rf.max_pair) + ")",
                  kex::fmt_fixed(rt.mean_pair, 1) + " (" +
                      kex::fmt_u64(rt.max_pair) + ")"});
+      out.add("cc/contention:" + std::to_string(c))
+          .metric("thm4_graceful_mean_rmr", rg.mean_pair)
+          .metric("thm4_graceful_max_rmr",
+                  static_cast<double>(rg.max_pair))
+          .metric("thm4_bound",
+                  static_cast<double>(kex::bounds::thm4_cc_graceful(c, K)))
+          .metric("thm3_fast_mean_rmr", rf.mean_pair)
+          .metric("thm3_fast_max_rmr", static_cast<double>(rf.max_pair))
+          .metric("ticket_mean_rmr", rt.mean_pair)
+          .metric("ticket_max_rmr", static_cast<double>(rt.max_pair));
     }
     t.print(std::cout);
   }
@@ -67,6 +84,14 @@ int main() {
                  std::to_string(kex::bounds::thm8_dsm_graceful(c, K)),
                  kex::fmt_fixed(rf.mean_pair, 1) + " (" +
                      kex::fmt_u64(rf.max_pair) + ")"});
+      out.add("dsm/contention:" + std::to_string(c))
+          .metric("thm8_graceful_mean_rmr", rg.mean_pair)
+          .metric("thm8_graceful_max_rmr",
+                  static_cast<double>(rg.max_pair))
+          .metric("thm8_bound",
+                  static_cast<double>(kex::bounds::thm8_dsm_graceful(c, K)))
+          .metric("thm7_fast_mean_rmr", rf.mean_pair)
+          .metric("thm7_fast_max_rmr", static_cast<double>(rf.max_pair));
     }
     t.print(std::cout);
   }
@@ -81,6 +106,10 @@ int main() {
       t.add_row({std::to_string(c), kex::fmt_u64(f.fast_hits()),
                  kex::fmt_u64(f.slow_hits()),
                  kex::fmt_fixed(f.fast_hit_rate(), 3)});
+      out.add("fastpath/contention:" + std::to_string(c))
+          .metric("fast_hits", static_cast<double>(f.fast_hits()))
+          .metric("slow_hits", static_cast<double>(f.slow_hits()))
+          .metric("fast_hit_rate", f.fast_hit_rate());
     }
     t.print(std::cout);
     std::cout << "At c<=k the hit rate is 1.000 (nobody ever takes the "
@@ -91,5 +120,6 @@ int main() {
                "ceil(c/k); the Thm3/Thm7 column is flat until c>k then "
                "steps up to its tree cost; the ticket baseline keeps "
                "growing with c.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

@@ -11,10 +11,12 @@
 // (2k,k) blocks) is visible where the chain column first exceeds the tree
 // column.
 #include <iostream>
+#include <string>
 
 #include "baselines/bakery_kex.h"
 #include "baselines/scan_kex.h"
 #include "kex/algorithms.h"
+#include "runtime/bench_json.h"
 #include "runtime/bounds.h"
 #include "runtime/rmr_meter.h"
 #include "runtime/rmr_report.h"
@@ -31,7 +33,11 @@ constexpr int NS[] = {4, 8, 16, 32, 48, 64};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_scaling");
+  out.label("k", std::to_string(K));
+
   std::cout << "=== Scaling with N at fixed k=" << K << " ===\n"
             << "max remote refs per acquisition; contended columns at c=N, "
             << "fast path also at c<=k; baselines solo (their w/o-"
@@ -68,11 +74,19 @@ int main() {
     t.add_row({std::to_string(n), kex::fmt_u64(chain), kex::fmt_u64(tree),
                kex::fmt_u64(fast_low), kex::fmt_u64(fast_high),
                kex::fmt_u64(bak), kex::fmt_u64(bits)});
+    out.add("scaling/N:" + std::to_string(n))
+        .metric("thm1_chain_max_rmr", static_cast<double>(chain))
+        .metric("thm2_tree_max_rmr", static_cast<double>(tree))
+        .metric("thm3_fast_low_max_rmr", static_cast<double>(fast_low))
+        .metric("thm3_fast_high_max_rmr", static_cast<double>(fast_high))
+        .metric("bakery_solo_max_rmr", static_cast<double>(bak))
+        .metric("bit_bakery_solo_max_rmr", static_cast<double>(bits));
   }
   t.print(std::cout);
 
   std::cout << "\nExpected: chain ~ 6N, tree ~ 6k*log2(N/k), fast@c<=k "
                "constant, bakery ~ 3N, bit-bakery ~ N^2 (with a floor from "
                "its fixed minimum register width).\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

@@ -10,14 +10,20 @@
 // methodology predicts.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <deque>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/atomic_queue_kex.h"
 #include "baselines/bakery_kex.h"
 #include "baselines/os_primitives.h"
 #include "kex/algorithms.h"
+#include "platform/wait.h"
 #include "renaming/k_assignment.h"
 #include "resilient/resilient.h"
+#include "runtime/bench_json.h"
 
 namespace {
 
@@ -44,6 +50,30 @@ void bench_alg(benchmark::State& state) {
   // benchmark thread arrives first, shared across all thread counts of
   // this template instantiation (the algorithms are long-lived objects).
   static Alg instance(N, K);
+  cycle(state, instance);
+}
+
+// Oversubscription: 4 threads per hardware thread, the regime where the
+// wait engine's tier ladder earns its keep (ablate with KEX_WAIT_POLICY;
+// `yield` is the pre-engine behavior).  Instances are sized to the thread
+// count so process ids stay in range on any machine.
+const int oversub_threads =
+    4 * std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+template <class Alg>
+void bench_alg_oversub(benchmark::State& state) {
+  static Alg instance(oversub_threads, K);
+  cycle(state, instance);
+}
+
+// Heavy oversubscription (16 threads per hardware thread): the regime
+// where yield-everywhere churns through every waiter per handoff while
+// the park tier leaves exactly one runnable successor.
+const int heavy_oversub_threads = 4 * oversub_threads;
+
+template <class Alg>
+void bench_alg_heavy_oversub(benchmark::State& state) {
+  static Alg instance(heavy_oversub_threads, K);
   cycle(state, instance);
 }
 
@@ -108,4 +138,87 @@ static void bench_resilient_counter(benchmark::State& state) {
 }
 BENCHMARK(bench_resilient_counter)->Threads(1)->Threads(K)->Threads(N);
 
-BENCHMARK_MAIN();
+// The oversubscribed matrix (threads = 4 × hardware threads).  UseRealTime:
+// wall clock is the contended-throughput quantity; CPU time would hide
+// exactly the scheduler thrash the wait engine removes.
+BENCHMARK_TEMPLATE(bench_alg_oversub, kex::cc_inductive<real>)
+    ->Threads(oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_oversub, kex::cc_fast<real>)
+    ->Threads(oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_oversub, kex::cc_graceful<real>)
+    ->Threads(oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_oversub, kex::dsm_bounded<real>)
+    ->Threads(oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_oversub, kex::baselines::ticket_kex<real>)
+    ->Threads(oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_oversub, kex::baselines::semaphore_kex<real>)
+    ->Threads(oversub_threads)
+    ->UseRealTime();
+
+BENCHMARK_TEMPLATE(bench_alg_heavy_oversub, kex::cc_inductive<real>)
+    ->Threads(heavy_oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_heavy_oversub, kex::cc_fast<real>)
+    ->Threads(heavy_oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_heavy_oversub, kex::baselines::ticket_kex<real>)
+    ->Threads(heavy_oversub_threads)
+    ->UseRealTime();
+
+namespace {
+
+// Tees every google-benchmark run into a bench_json collector alongside
+// the normal console output (installed only when --json was requested).
+class json_tee_reporter : public benchmark::ConsoleReporter {
+ public:
+  explicit json_tee_reporter(kex::bench_json* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      auto& rec = out_->add(run.benchmark_name());
+      rec.label("threads", std::to_string(run.threads));
+      rec.metric("iterations", static_cast<double>(run.iterations));
+      if (run.iterations > 0) {
+        rec.metric("real_time_ns_per_op",
+                   run.real_accumulated_time * 1e9 /
+                       static_cast<double>(run.iterations));
+        rec.metric("cpu_time_ns_per_op",
+                   run.cpu_accumulated_time * 1e9 /
+                       static_cast<double>(run.iterations));
+      }
+      for (const auto& [counter_name, counter] : run.counters)
+        rec.metric(counter_name, counter.value);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  kex::bench_json* out_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  kex::bench_json out("bench_throughput");
+  out.label("wait_policy",
+            std::string(kex::to_string(kex::global_wait_policy().mode)));
+  out.label("hardware_threads",
+            std::to_string(std::thread::hardware_concurrency()));
+  out.label("oversub_threads", std::to_string(oversub_threads));
+
+  json_tee_reporter reporter(&out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty() && !out.write(json_path)) return 1;
+  return 0;
+}

@@ -50,7 +50,10 @@ class atomic_queue_kex {
       std::scoped_lock lk(big_atomic_);
       if (x_.value.fetch_add(p, -1) <= 0) enqueue(p);
     }
-    while (element(p)) p.spin();  // statement 2: non-local busy-wait
+    // Statement 2: non-local busy-wait.  Membership is a scan over the
+    // head/tail/ring variables, so this polls (never parks) — faithfully
+    // reproducing the row's defining weakness.
+    P::poll(p, [&] { return !element(p); });
   }
 
   void release(proc& p) {
@@ -119,7 +122,7 @@ class ticket_kex {
 
   void acquire(proc& p) {
     long t = next_.value.fetch_add(p, 1);
-    while (t - completed_.value.read(p) >= k_) p.spin();
+    completed_.value.await(p, [&](long c) { return t - c < k_; });
   }
 
   // Entry section with an abort predicate; returns false if aborted while
@@ -130,14 +133,25 @@ class ticket_kex {
   template <class Abort>
   bool acquire_with_abort(proc& p, Abort abort) {
     long t = next_.value.fetch_add(p, 1);
-    while (t - completed_.value.read(p) >= k_) {
-      if (abort()) return false;
-      p.spin();
-    }
-    return true;
+    // The abort condition can flip with no write to `completed_`, so this
+    // polls (an indefinitely parked waiter would sleep through its abort).
+    bool aborted = false;
+    P::poll(p, [&] {
+      if (t - completed_.value.read(p) < k_) return true;
+      if (abort()) {
+        aborted = true;
+        return true;
+      }
+      return false;
+    });
+    return !aborted;
   }
 
-  void release(proc& p) { completed_.value.fetch_add(p, 1); }
+  void release(proc& p) {
+    completed_.value.fetch_add(p, 1);
+    // Every waiter re-evaluates its own ticket against the new count.
+    completed_.value.wake_all();
+  }
 
   int n() const { return n_; }
   int k() const { return k_; }

@@ -66,24 +66,27 @@ class bakery_kex {
     }
     number_[me].value.write(p, max + 1);
     choosing_[me].value.write(p, 0);
+    choosing_[me].value.wake_all();
 
     for (int q = 0; q < pids_; ++q) {
       if (q == p.id) continue;
-      while (choosing_[static_cast<std::size_t>(q)].value.read(p) != 0)
-        p.spin();
+      choosing_[static_cast<std::size_t>(q)].value.await(
+          p, [](int c) { return c == 0; });
     }
 
+    // The enabling condition scans every label register, so there is no
+    // single variable to park on — P::poll never sleeps past the yield
+    // tier (see platform/wait.h).
     const long mine = max + 1;
-    for (;;) {
+    P::poll(p, [&] {
       int smaller = 0;
       for (int q = 0; q < pids_; ++q) {
         if (q == p.id) continue;
         long v = number_[static_cast<std::size_t>(q)].value.read(p);
         if (v != 0 && (v < mine || (v == mine && q < p.id))) ++smaller;
       }
-      if (smaller < k_) return;
-      p.spin();
-    }
+      return smaller < k_;
+    });
   }
 
   void release(proc& p) {

@@ -51,7 +51,8 @@ class mcs_lock {
     if (pred != nullptr) {
       mine.locked.write(p, 1);
       pred->next.write(p, &mine);
-      while (mine.locked.read(p) != 0) p.spin();  // local spin
+      pred->next.wake_one();  // predecessor may be parked in release()
+      mine.locked.await(p, [](int l) { return l == 0; });  // local spin
     }
   }
 
@@ -61,9 +62,11 @@ class mcs_lock {
     if (successor == nullptr) {
       if (tail_.value.compare_exchange(p, &mine, nullptr)) return;
       // Someone is mid-enqueue: wait for the link to appear.
-      while ((successor = mine.next.read(p)) == nullptr) p.spin();
+      successor = mine.next.await(
+          p, [](qnode* s) { return s != nullptr; });
     }
     successor->locked.write(p, 0);
+    successor->locked.wake_one();
   }
 
   int n() const { return n_; }

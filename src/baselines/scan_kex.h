@@ -46,15 +46,12 @@ class bit_register {
       cells_[static_cast<std::size_t>(b)].write(
           p, static_cast<int>((v >> b) & 1));
     seq_.value.fetch_add(p, 1);  // even: stable
+    seq_.value.wake_all();       // readers parked on an odd sequence
   }
 
   long read(proc& p) {
     for (;;) {
-      long s1 = seq_.value.read(p);
-      if (s1 % 2 != 0) {
-        p.spin();
-        continue;
-      }
+      long s1 = seq_.value.await(p, [](long s) { return s % 2 == 0; });
       long v = 0;
       for (int b = 0; b < bits_; ++b)
         v |= static_cast<long>(
@@ -104,24 +101,26 @@ class scan_kex {
     }
     number_[me].write(p, max + 1);
     choosing_[me].value.write(p, 0);
+    choosing_[me].value.wake_all();
 
     for (int q = 0; q < pids_; ++q) {
       if (q == p.id) continue;
-      while (choosing_[static_cast<std::size_t>(q)].value.read(p) != 0)
-        p.spin();
+      choosing_[static_cast<std::size_t>(q)].value.await(
+          p, [](int c) { return c == 0; });
     }
 
+    // Multi-register enabling scan: no single park target, so poll (the
+    // engine's never-parking tier ladder; see platform/wait.h).
     const long mine = max + 1;
-    for (;;) {
+    P::poll(p, [&] {
       int smaller = 0;
       for (int q = 0; q < pids_; ++q) {
         if (q == p.id) continue;
         long v = number_[static_cast<std::size_t>(q)].read(p);
         if (v != 0 && (v < mine || (v == mine && q < p.id))) ++smaller;
       }
-      if (smaller < k_) return;
-      p.spin();
-    }
+      return smaller < k_;
+    });
   }
 
   void release(proc& p) {

@@ -106,11 +106,13 @@ class ya_lock {
     pflag(v, p.id).write(p, 0);                              // 3
     int rival = v.c[1 - side].value.read(p);                 // 4
     if (rival != -1 && v.t.value.read(p) == p.id) {          // 5
-      if (pflag(v, rival).read(p) == 0)                      // 6
+      if (pflag(v, rival).read(p) == 0) {                    // 6
         pflag(v, rival).write(p, 1);
-      while (pflag(v, p.id).read(p) == 0) p.spin();          // 7
-      if (v.t.value.read(p) == p.id) {                       // 8
-        while (pflag(v, p.id).read(p) <= 1) p.spin();        // 9
+        pflag(v, rival).wake_one();
+      }
+      pflag(v, p.id).await(p, [](int f) { return f != 0; });  // 7
+      if (v.t.value.read(p) == p.id) {                        // 8
+        pflag(v, p.id).await(p, [](int f) { return f > 1; }); // 9
       }
     }
   }
@@ -118,7 +120,10 @@ class ya_lock {
   void leave(node& v, int side, proc& p) {
     v.c[side].value.write(p, -1);                            // 10
     int rival = v.t.value.read(p);                           // 11
-    if (rival >= 0 && rival != p.id) pflag(v, rival).write(p, 2);  // 12
+    if (rival >= 0 && rival != p.id) {
+      pflag(v, rival).write(p, 2);                           // 12
+      pflag(v, rival).wake_one();
+    }
   }
 
   int n_;

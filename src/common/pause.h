@@ -1,0 +1,34 @@
+// cpu_relax(): the innermost tier of a busy-wait.
+//
+// A spinning hardware thread should tell the core it is spinning: on x86
+// the PAUSE instruction de-pipelines the spin loop (avoiding a memory-order
+// mis-speculation flush when the awaited line finally changes) and yields
+// issue slots to the sibling hyperthread; on ARM64, ISB is the idiom with
+// an actual latency benefit (plain YIELD is a near-no-op on most cores;
+// see the WebKit/MySQL spin-loop lineage).  On unknown architectures a
+// compiler barrier at least prevents the loop from being folded away.
+//
+// This is deliberately *not* std::this_thread::yield(): no syscall, no
+// scheduler involvement — those are the *outer* tiers of the wait engine
+// (src/platform/wait.h).
+#pragma once
+
+namespace kex {
+
+inline void cpu_relax() noexcept {
+#if defined(__i386__) || defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#elif defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#elif defined(__riscv)
+  // Encoding of `pause` (Zihintpause); executes as a plain fence.pred=W
+  // hint and is backward-compatible on cores without the extension.
+  asm volatile(".insn i 0x0F, 0, x0, x0, 0x010" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace kex

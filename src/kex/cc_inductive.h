@@ -53,8 +53,9 @@ class cc_level {
   void acquire(proc& p) {
     if (x_.value.fetch_add(p, -1) == 0) {         // 2: no slot available
       q_.value.write(p, p.id);                    // 3: register as waiter
+      q_.value.wake_one();  // the write may have un-named a parked waiter
       if (x_.value.read(p) < 0) {                 // 4: still none — wait
-        while (q_.value.read(p) == p.id) p.spin();  // 5: local spin
+        q_.value.await_while(p, p.id);            // 5: local spin
       }
     }
   }
@@ -62,6 +63,7 @@ class cc_level {
   void release(proc& p) {
     x_.value.fetch_add(p, 1);                     // 6: return the slot
     q_.value.write(p, p.id);                      // 7: wake waiter, if any
+    q_.value.wake_one();
   }
 
   int capacity() const { return j_; }

@@ -98,14 +98,14 @@ class dsm_bounded_level {
       reads_[u.pid][u.loc].fetch_add(p, 1);                       // 8
       if (q_.value.read(p) == uw) {                               // 9
         spin_[u.pid][u.loc].write(p, 1);                          // 10
+        spin_[u.pid][u.loc].wake_one();
         std::uint64_t mine = pack(loc_pair{
             static_cast<std::uint32_t>(p.id), next});
         if (q_.value.compare_exchange(p, uw, mine)) {             // 11
           me.last = next;                                         // 12
           if (x_.value.read(p) < 0) {                             // 13
-            while (spin_[static_cast<std::uint32_t>(p.id)][next].read(p) ==
-                   0)
-              p.spin();                                           // 14
+            spin_[static_cast<std::uint32_t>(p.id)][next].await(
+                p, [](int f) { return f != 0; });                 // 14
           }
         }
       }
@@ -120,6 +120,7 @@ class dsm_bounded_level {
     reads_[u.pid][u.loc].fetch_add(p, 1);                         // 18
     if (q_.value.read(p) == uw) {                                 // 19
       spin_[u.pid][u.loc].write(p, 1);                            // 20
+      spin_[u.pid][u.loc].wake_one();
     }
     reads_[u.pid][u.loc].fetch_add(p, -1);                        // 21
   }

@@ -86,11 +86,13 @@ class dsm_unbounded_level {
       std::uint64_t v = q_.value.read(p);                       // 5
       loc_pair vl = unpack(v);
       flag(vl.pid, vl.loc).write(p, 1);                         // 6
+      flag(vl.pid, vl.loc).wake_one();
       std::uint64_t next = pack(loc_pair{
           static_cast<std::uint32_t>(p.id), my_loc});
       if (q_.value.compare_exchange(p, v, next)) {              // 7
         if (x_.value.read(p) < 0) {                             // 8
-          while (flag(p.id, my_loc).read(p) == 0) p.spin();      // 9
+          flag(p.id, my_loc).await(p,
+              [](int f) { return f != 0; });                    // 9
         }
       }
     }
@@ -101,6 +103,7 @@ class dsm_unbounded_level {
     std::uint64_t v = q_.value.read(p);                         // 11
     loc_pair vl = unpack(v);
     flag(vl.pid, vl.loc).write(p, 1);                           // 12
+    flag(vl.pid, vl.loc).wake_one();
   }
 
   int capacity() const { return j_; }

@@ -63,19 +63,23 @@ class fast_path_kex {
         x_(k),
         block_(2 * k, k, pid_space < 0 ? n : pid_space),
         slow_(n, k, pid_space < 0 ? n : pid_space),
-        slow_flag_(static_cast<std::size_t>(pid_space < 0 ? n : pid_space)) {
+        slow_flag_(static_cast<std::size_t>(pid_space < 0 ? n : pid_space)),
+        stats_(static_cast<std::size_t>(pid_space < 0 ? n : pid_space)) {
     KEX_CHECK_MSG(k >= 1 && n > k, "fast_path_kex requires 1 <= k < n");
   }
 
   void acquire(proc& p) {
     auto& slow = slow_flag_[static_cast<std::size_t>(p.id)].value;
+    auto& st = stats_[static_cast<std::size_t>(p.id)].value;
     slow = false;                                               // 1
     if (x_.value.fetch_dec_floor0(p) == 0) {                    // 2
       slow = true;                                              // 3
-      slow_hits_.fetch_add(1, std::memory_order_relaxed);
+      st.slow.store(st.slow.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
       slow_.acquire(p);                                         // 4
     } else {
-      fast_hits_.fetch_add(1, std::memory_order_relaxed);
+      st.fast.store(st.fast.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
     }
     block_.acquire(p);                                          // 5
   }
@@ -94,13 +98,23 @@ class fast_path_kex {
   Slow& slow_path() { return slow_; }
   Block& block() { return block_; }
 
-  // Introspection: how many acquisitions took each path.  Relaxed
-  // counters outside the cost model (they are diagnostics, not protocol).
+  // Introspection: how many acquisitions took each path.  Diagnostics
+  // outside the cost model, kept per process in padded slots — a shared
+  // fetch_add here would ping-pong a cache line on every fast-path
+  // acquisition, the exact traffic the fast path exists to avoid — and
+  // aggregated on read (each slot is single-writer, so a relaxed
+  // load/store pair per acquisition suffices).
   std::uint64_t fast_hits() const {
-    return fast_hits_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const auto& st : stats_)
+      total += st.value.fast.load(std::memory_order_relaxed);
+    return total;
   }
   std::uint64_t slow_hits() const {
-    return slow_hits_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const auto& st : stats_)
+      total += st.value.slow.load(std::memory_order_relaxed);
+    return total;
   }
   double fast_hit_rate() const {
     auto f = fast_hits();
@@ -111,12 +125,16 @@ class fast_path_kex {
   }
 
  private:
+  struct path_stats {
+    std::atomic<std::uint64_t> fast{0}, slow{0};
+  };
+
   int n_, k_;
   padded<var<int>> x_;  // saturating slot counter, range 0..k
   Block block_;
   Slow slow_;
   std::vector<padded<bool>> slow_flag_;  // the private variable `slow`
-  std::atomic<std::uint64_t> fast_hits_{0}, slow_hits_{0};
+  std::vector<padded<path_stats>> stats_;  // per-process; summed on read
 };
 
 // Theorem 4/8: nested fast paths with graceful degradation.

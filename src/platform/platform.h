@@ -14,8 +14,20 @@
 #include "platform/proc.h"
 #include "platform/real.h"
 #include "platform/sim.h"
+#include "platform/wait.h"
 
 namespace kex {
+
+namespace detail {
+// Stand-in predicates for the concept's requires-expression (lambdas are
+// awkward in unevaluated contexts across toolchains).
+struct value_pred {
+  bool operator()(int) const { return true; }
+};
+struct state_pred {
+  bool operator()() const { return true; }
+};
+}  // namespace detail
 
 template <class P>
 concept Platform = requires(typename P::proc& p,
@@ -27,6 +39,14 @@ concept Platform = requires(typename P::proc& p,
   { v.fetch_add(p, 1) } -> std::convertible_to<int>;
   { v.fetch_dec_floor0(p) } -> std::convertible_to<int>;
   { v.compare_exchange(p, 0, 1) } -> std::convertible_to<bool>;
+  // The waiting subsystem (platform/wait.h): single-variable awaits with
+  // write-side wakeups, and the multi-variable poll fallback.
+  { v.await(p, detail::value_pred{}) } -> std::convertible_to<int>;
+  { v.await(p, detail::value_pred{}, wait_opts{}) } -> std::convertible_to<int>;
+  { v.await_while(p, 0) } -> std::convertible_to<int>;
+  v.wake_one();
+  v.wake_all();
+  P::poll(p, detail::state_pred{});
   { P::counts_rmr } -> std::convertible_to<bool>;
 };
 

@@ -16,6 +16,7 @@
 
 #include "common/cacheline.h"
 #include "platform/proc.h"
+#include "platform/wait.h"
 
 namespace kex {
 
@@ -38,6 +39,21 @@ struct real_platform {
     static constexpr bool can_fail = false;
   };
 
+  // Wait until an arbitrary predicate holds.  `pred` is nullary and
+  // performs its own shared reads (multi-variable conditions: the bakery
+  // label scan, queue membership).  No single variable identifies the
+  // wakeup, so this engine tops out at the yield tier — it never parks,
+  // under any policy.  Single-variable waits should use var::await /
+  // var::await_while instead, which can.
+  template <class Pred>
+  static void poll(proc&, Pred pred) {
+    if (pred()) return;
+    wait_engine engine({.allow_park = false});
+    do {
+      engine.step([] {});
+    } while (!pred());
+  }
+
   // A shared variable.  T must be lock-free-atomic-capable (the paper's
   // variables are small integers, booleans and packed id/location pairs).
   template <class T>
@@ -54,6 +70,45 @@ struct real_platform {
     void set_owner(int /*owner*/) {}
 
     T read(proc&) const { return v_.load(std::memory_order_seq_cst); }
+
+    // --- the waiting subsystem (see platform/wait.h) ----------------------
+    //
+    // Wait until pred(value) holds; returns the satisfying value.  `pred`
+    // must be a pure function of the observed value — the park tier blocks
+    // while the variable keeps that exact value, so a predicate consulting
+    // anything else could sleep through its own wakeup.  Writers that can
+    // flip the predicate must call wake_one/wake_all after their write.
+    template <class Pred>
+    T await(proc&, Pred pred, wait_opts opts = {}) {
+      T v = v_.load(std::memory_order_seq_cst);
+      if (pred(v)) return v;
+      wait_engine engine(opts);
+      for (;;) {
+        v = v_.load(std::memory_order_seq_cst);
+        if (pred(v)) return v;
+        engine.step([&] { v_.wait(v, std::memory_order_seq_cst); });
+      }
+    }
+
+    // Wait while the variable holds `old`; returns the first other value.
+    T await_while(proc&, T old, wait_opts opts = {}) {
+      T v = v_.load(std::memory_order_seq_cst);
+      if (v != old) return v;
+      wait_engine engine(opts);
+      for (;;) {
+        v = v_.load(std::memory_order_seq_cst);
+        if (v != old) return v;
+        engine.step([&] { v_.wait(old, std::memory_order_seq_cst); });
+      }
+    }
+
+    // Wake parked awaiters after a write that may satisfy their predicate.
+    // Cheap when nobody is parked (libstdc++/libc++ check a waiter count
+    // before the futex syscall), so protocol writers call these
+    // unconditionally on the variables they actually wrote.
+    void wake_one() { v_.notify_one(); }
+    void wake_all() { v_.notify_all(); }
+
 
     // Debug/probe read: no process context, no accounting.  For test
     // probes and diagnostics only — never from algorithm code.

@@ -35,6 +35,7 @@
 
 #include "common/cacheline.h"
 #include "platform/proc.h"
+#include "platform/wait.h"
 
 namespace kex {
 
@@ -181,6 +182,39 @@ struct sim_platform {
       return v_.load(std::memory_order_seq_cst);
     }
 
+    // --- the waiting subsystem (see platform/wait.h) ----------------------
+    //
+    // On the simulated platform an await is a plain read loop: every
+    // iteration is charged exactly like the open-coded `while (...)
+    // p.spin()` it replaced, so RMR accounting, failure injection, the
+    // step gate, and chaos scheduling are bit-for-bit unchanged.  The
+    // paper's cost model has no wait/notify primitive — a parked process
+    // generating zero references while waiting would falsify the local-
+    // spin theorems the tests assert (tests/rmr_bounds_test.cpp).
+    template <class Pred>
+    T await(proc& p, Pred pred, wait_opts = {}) {
+      T v = read(p);
+      while (!pred(v)) {
+        p.spin();
+        v = read(p);
+      }
+      return v;
+    }
+
+    T await_while(proc& p, T old, wait_opts = {}) {
+      T v = read(p);
+      while (v == old) {
+        p.spin();
+        v = read(p);
+      }
+      return v;
+    }
+
+    // No parking on the simulated platform, hence nothing to wake.  Kept
+    // so algorithms notify unconditionally and stay platform-generic.
+    void wake_one() {}
+    void wake_all() {}
+
     // Debug/probe read: no process context, no accounting, no failure
     // check, no step gate.  For test probes (e.g. the stepper's invariant
     // probe) and diagnostics only — never from algorithm code.
@@ -271,6 +305,14 @@ struct sim_platform {
     std::atomic<std::uint64_t> version_{0};
     int owner_ = -1;
   };
+
+  // Multi-variable wait: pred performs its own (charged) shared reads.
+  // Same shape as the open-coded baseline loops it replaced: evaluate,
+  // spin, re-evaluate.
+  template <class Pred>
+  static void poll(proc& p, Pred pred) {
+    while (!pred()) p.spin();
+  }
 
   static constexpr bool counts_rmr = true;
 };

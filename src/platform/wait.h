@@ -1,0 +1,185 @@
+// The waiting subsystem: how a process burns time between observing "not
+// yet" and observing "go".
+//
+// Every busy-wait in the library goes through one of two entry points:
+//
+//   * var<T>::await(p, pred) / var<T>::await_while(p, old) — wait until a
+//     *single shared variable* satisfies a predicate of its own value.
+//     On `real_platform` the releasing side calls var::wake_one/wake_all
+//     after the write, so the final tier can park the thread on the
+//     variable itself (C++20 std::atomic wait/notify, i.e. futex-class
+//     blocking) with no missed-wakeup window.
+//
+//   * P::poll(p, pred) — wait until an arbitrary multi-variable predicate
+//     holds (the predicate performs its own shared reads).  There is no
+//     single variable to park on, so this engine never sleeps past the
+//     yield tier; it exists for the globally-scanning baselines (bakery's
+//     label scan, the Figure-1 queue membership scan).
+//
+// real_platform tiers (policy `adaptive`, the default):
+//
+//   tier 1  spin   spin_rounds × cpu_relax()     — contention is momentary;
+//                                                  stay hot, no syscalls
+//   tier 2  yield  yield_rounds × yield()        — give the holder a core
+//                                                  when oversubscribed
+//   tier 3  park   atomic<T>::wait / notify      — contention is real;
+//                                                  stop consuming the CPU
+//
+// The policy is runtime-selectable so benchmarks can ablate the tiers:
+//
+//   KEX_WAIT_POLICY = spin | yield | adaptive | park   (default adaptive)
+//   KEX_WAIT_SPINS  = <n>   spin-tier budget          (default 128)
+//   KEX_WAIT_YIELDS = <n>   yield-tier budget         (default 64)
+//
+// `yield` reproduces the pre-engine behavior (yield every iteration) and
+// is the ablation baseline; `spin` never syscalls; `park` sleeps almost
+// immediately (the forced mode of the missed-wakeup stress tests).
+//
+// sim_platform is exempt from all of this: its awaits are plain read
+// loops, bit-for-bit the access sequence of the original open-coded
+// spins, because the paper's RMR accounting (Theorems 1-10, asserted in
+// tests/rmr_bounds_test.cpp) charges each read of the awaited variable —
+// a parked thread would be a wait primitive the 1994 cost model does not
+// have.  See sim.h.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+#include "common/pause.h"
+
+namespace kex {
+
+// How the real platform waits.  `adaptive` is the tier ladder; the other
+// three pin the engine to a single tier (for ablation and stress).
+enum class wait_mode : std::uint8_t {
+  spin,      // cpu_relax() every iteration; never yields, never sleeps
+  yield,     // yield() every iteration — the pre-engine behavior
+  adaptive,  // spin tier, then yield tier, then park
+  park,      // park as soon as possible (stress-tests the notify paths)
+};
+
+struct wait_policy {
+  wait_mode mode = wait_mode::adaptive;
+  std::uint32_t spin_rounds = 128;  // tier-1 budget (cpu_relax iterations)
+  std::uint32_t yield_rounds = 64;  // tier-2 budget (sched yields)
+
+  // Parse a KEX_WAIT_POLICY value; unknown strings fall back to the
+  // default-constructed policy (never throws: benches must not die on a
+  // typo'd environment).
+  static wait_policy parse(std::string_view mode_str) {
+    wait_policy p;
+    if (mode_str == "spin") p.mode = wait_mode::spin;
+    else if (mode_str == "yield") p.mode = wait_mode::yield;
+    else if (mode_str == "adaptive") p.mode = wait_mode::adaptive;
+    else if (mode_str == "park") p.mode = wait_mode::park;
+    return p;
+  }
+
+  // Policy from KEX_WAIT_POLICY / KEX_WAIT_SPINS / KEX_WAIT_YIELDS.
+  static wait_policy from_env() {
+    wait_policy p;
+    // On a single-core machine the awaited variable cannot change while we
+    // occupy the CPU, so pause-spinning is pure waste: skip straight to the
+    // yield tier (the same SMP gate glibc's adaptive mutexes apply).
+    // KEX_WAIT_SPINS still overrides for experiments.
+    if (std::thread::hardware_concurrency() <= 1) p.spin_rounds = 0;
+    if (const char* m = std::getenv("KEX_WAIT_POLICY")) {
+      p.mode = parse(m).mode;
+    }
+    if (const char* s = std::getenv("KEX_WAIT_SPINS"))
+      p.spin_rounds = static_cast<std::uint32_t>(std::strtoul(s, nullptr, 10));
+    if (const char* y = std::getenv("KEX_WAIT_YIELDS"))
+      p.yield_rounds = static_cast<std::uint32_t>(std::strtoul(y, nullptr, 10));
+    return p;
+  }
+};
+
+constexpr std::string_view to_string(wait_mode m) {
+  switch (m) {
+    case wait_mode::spin: return "spin";
+    case wait_mode::yield: return "yield";
+    case wait_mode::adaptive: return "adaptive";
+    case wait_mode::park: return "park";
+  }
+  return "?";
+}
+
+namespace detail {
+inline wait_policy& mutable_wait_policy() {
+  // Read from the environment once, at first wait; tests and benches may
+  // override via set_wait_policy before spawning workers.
+  static wait_policy policy = wait_policy::from_env();
+  return policy;
+}
+}  // namespace detail
+
+// The process-wide policy real_platform waits run under.  Not synchronized:
+// set it before worker threads start waiting (tests/benches do; servers
+// configure once at startup via the environment).
+inline const wait_policy& global_wait_policy() {
+  return detail::mutable_wait_policy();
+}
+inline void set_wait_policy(wait_policy p) {
+  detail::mutable_wait_policy() = p;
+}
+
+// Per-await options.  allow_park = false degrades the park tier to yield;
+// required when the awaited condition can become true without anyone
+// writing the awaited variable (e.g. an external abort predicate).
+struct wait_opts {
+  bool allow_park = true;
+};
+
+// One wait episode's backoff state.  Construct per await, call step() once
+// per failed check; `park` is a callable that blocks until the awaited
+// variable may have changed (it may also return spuriously — callers
+// re-check their predicate around every step).
+class wait_engine {
+ public:
+  explicit wait_engine(wait_opts opts = {},
+                       const wait_policy& policy = global_wait_policy())
+      : policy_(policy), allow_park_(opts.allow_park) {}
+
+  template <class Park>
+  void step(Park&& park) {
+    switch (policy_.mode) {
+      case wait_mode::spin:
+        cpu_relax();
+        return;
+      case wait_mode::yield:
+        std::this_thread::yield();
+        return;
+      case wait_mode::park:
+        if (allow_park_) park();
+        else std::this_thread::yield();
+        return;
+      case wait_mode::adaptive:
+        if (rounds_ < policy_.spin_rounds) {
+          ++rounds_;
+          cpu_relax();
+        } else if (!allow_park_ ||
+                   rounds_ < policy_.spin_rounds + policy_.yield_rounds) {
+          // Saturate the counter so a long non-parking wait cannot
+          // overflow back into the spin tier.
+          if (rounds_ < policy_.spin_rounds + policy_.yield_rounds) ++rounds_;
+          std::this_thread::yield();
+        } else {
+          park();
+        }
+        return;
+    }
+  }
+
+  // How many pre-park rounds this episode has burned (diagnostics/tests).
+  std::uint32_t rounds() const { return rounds_; }
+
+ private:
+  const wait_policy policy_;  // snapshot: one episode, one policy
+  const bool allow_park_;
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace kex

@@ -1,0 +1,122 @@
+#include "runtime/bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace kex {
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes, control characters.
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  // JSON has no inf/nan; clamp to null (consumers treat it as missing).
+  if (v != v || v > 1.7e308 || v < -1.7e308) {
+    out += "null";
+    return;
+  }
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  out += ss.str();
+}
+
+void append_labels(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, k);
+    out += ':';
+    append_escaped(out, v);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string bench_json::to_string() const {
+  std::string out;
+  out += "{\"bench\":";
+  append_escaped(out, bench_name_);
+  out += ",\"schema\":1,\"labels\":";
+  append_labels(out, labels_);
+  out += ",\"records\":[";
+  bool first_rec = true;
+  for (const auto& rec : records_) {
+    if (!first_rec) out += ',';
+    first_rec = false;
+    out += "\n  {\"name\":";
+    append_escaped(out, rec.name);
+    out += ",\"labels\":";
+    append_labels(out, rec.labels);
+    out += ",\"metrics\":{";
+    bool first_metric = true;
+    for (const auto& [k, v] : rec.metrics) {
+      if (!first_metric) out += ',';
+      first_metric = false;
+      append_escaped(out, k);
+      out += ':';
+      append_number(out, v);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool bench_json::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+std::string bench_json::consume_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    std::string arg = argv[r];
+    if (arg == "--json" && r + 1 < argc) {
+      path = argv[++r];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return path;
+}
+
+}  // namespace kex

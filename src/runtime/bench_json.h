@@ -1,0 +1,80 @@
+// Machine-readable benchmark output: every bench binary that accepts
+// `--json <file>` (also `--json=<file>`) dumps its measurements through
+// this collector, so the perf trajectory across PRs can be diffed by
+// tooling instead of eyeballing console tables.
+//
+// Schema (one object per file):
+//
+//   {
+//     "bench": "bench_throughput",
+//     "schema": 1,
+//     "labels": {"wait_policy": "adaptive", ...},     // run-wide context
+//     "records": [
+//       {"name": "oversub/cc_fast/threads:4",
+//        "labels": {...}, "metrics": {"items_per_second": 1.2e6, ...}},
+//       ...
+//     ]
+//   }
+//
+// Metrics are numbers, labels are strings; records preserve insertion
+// order.  The writer depends only on <fstream>/<string> — no third-party
+// JSON library enters the build.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kex {
+
+struct bench_record {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  bench_record& label(std::string key, std::string value) {
+    labels.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  bench_record& metric(std::string key, double value) {
+    metrics.emplace_back(std::move(key), value);
+    return *this;
+  }
+};
+
+class bench_json {
+ public:
+  explicit bench_json(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // Run-wide label attached once at the top level (e.g. the wait policy).
+  void label(std::string key, std::string value) {
+    labels_.emplace_back(std::move(key), std::move(value));
+  }
+
+  bench_record& add(std::string record_name) {
+    records_.emplace_back();
+    records_.back().name = std::move(record_name);
+    return records_.back();
+  }
+
+  bool empty() const { return records_.empty(); }
+  const std::vector<bench_record>& records() const { return records_; }
+
+  // Serialize; returns false (after printing to stderr) if the file can't
+  // be written.  Never throws — a bench must not die on a bad path.
+  bool write(const std::string& path) const;
+  std::string to_string() const;
+
+  // Find and remove `--json <file>` / `--json=<file>` from argv (so the
+  // remaining flags can go to e.g. google-benchmark untouched); returns
+  // the file path, or "" if the flag is absent.
+  static std::string consume_json_flag(int& argc, char** argv);
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> labels_;
+  std::vector<bench_record> records_;
+};
+
+}  // namespace kex
