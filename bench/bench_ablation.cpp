@@ -15,6 +15,7 @@
 
 #include "kex/algorithms.h"
 #include "primitives/ops.h"
+#include "runtime/bench_json.h"
 #include "runtime/bounds.h"
 #include "runtime/process_group.h"
 #include "runtime/rmr_meter.h"
@@ -68,7 +69,10 @@ class fast_path_emulated {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_ablation");
+
   constexpr int ITERS = 50;
 
   std::cout << "=== Ablation 1: native saturating F&I vs CAS emulation ===\n"
@@ -98,6 +102,14 @@ int main() {
                  kex::fmt_u64(el),
                  std::to_string(kex::bounds::thm3_cc_fast_low(k)),
                  kex::fmt_u64(nh), kex::fmt_u64(eh)});
+      out.add("fai_emulation/N:" + std::to_string(n) +
+              "/k:" + std::to_string(k))
+          .metric("native_low_max_rmr", static_cast<double>(nl))
+          .metric("emulated_low_max_rmr", static_cast<double>(el))
+          .metric("bound_low",
+                  static_cast<double>(kex::bounds::thm3_cc_fast_low(k)))
+          .metric("native_high_max_rmr", static_cast<double>(nh))
+          .metric("emulated_high_max_rmr", static_cast<double>(eh));
     }
     t.print(std::cout);
     std::cout << "Expected: emulation adds a small constant (extra read + "
@@ -121,6 +133,9 @@ int main() {
       t.add_row({std::to_string(n), kex::fmt_u64(chain),
                  kex::fmt_u64(tree),
                  chain <= tree ? "chain" : "tree"});
+      out.add("chain_vs_tree/N:" + std::to_string(n))
+          .metric("chain_max_rmr", static_cast<double>(chain))
+          .metric("tree_max_rmr", static_cast<double>(tree));
     }
     t.print(std::cout);
     std::cout << "Expected: chain wins for very small N (fewer levels than "
@@ -154,6 +169,10 @@ int main() {
     t.print(std::cout);
     std::cout << "The simulation layer costs a small constant factor; it "
                  "models 1994 interconnect cost, not wall-clock speed.\n";
+    out.add("instrumentation_overhead")
+        .metric("real_ns_per_op", ns_real)
+        .metric("sim_ns_per_op", ns_sim);
   }
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "common/cacheline.h"
 #include "kex/algorithms.h"
 #include "renaming/k_assignment.h"
+#include "runtime/bench_json.h"
 #include "runtime/bounds.h"
 #include "runtime/rmr_meter.h"
 #include "runtime/rmr_report.h"
@@ -44,7 +45,10 @@ constexpr shape SHAPES[] = {{8, 2}, {8, 4}, {12, 3}, {16, 2}, {16, 4}};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_assignment");
+
   std::cout << "=== Theorems 9/10: (N,k)-assignment ===\n"
             << "max remote refs per entry+exit pair (name acquire + name "
             << "release included)\n\n";
@@ -72,6 +76,11 @@ int main() {
                  kex::fmt_u64(low), std::to_string(bound),
                  kex::fmt_u64(high),
                  low <= static_cast<std::uint64_t>(bound) ? "yes" : "NO"});
+      out.add("thm9_cc/N:" + std::to_string(n) + "/k:" + std::to_string(k))
+          .metric("exclusion_low_max_rmr", static_cast<double>(excl))
+          .metric("assignment_low_max_rmr", static_cast<double>(low))
+          .metric("bound_low", static_cast<double>(bound))
+          .metric("assignment_high_max_rmr", static_cast<double>(high));
     }
     t.print(std::cout);
   }
@@ -99,11 +108,17 @@ int main() {
                  kex::fmt_u64(low), std::to_string(bound),
                  kex::fmt_u64(high),
                  low <= static_cast<std::uint64_t>(bound) ? "yes" : "NO"});
+      out.add("thm10_dsm/N:" + std::to_string(n) + "/k:" + std::to_string(k))
+          .metric("exclusion_low_max_rmr", static_cast<double>(excl))
+          .metric("assignment_low_max_rmr", static_cast<double>(low))
+          .metric("bound_low", static_cast<double>(bound))
+          .metric("assignment_high_max_rmr", static_cast<double>(high));
     }
     t.print(std::cout);
   }
 
   std::cout << "\nThe renaming layer costs at most k extra references on "
                "entry (test-and-set scan) and one on exit (bit clear).\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

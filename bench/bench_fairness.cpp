@@ -14,6 +14,7 @@
 #include "baselines/atomic_queue_kex.h"
 #include "baselines/bakery_kex.h"
 #include "kex/algorithms.h"
+#include "runtime/bench_json.h"
 #include "runtime/history.h"
 #include "runtime/process_group.h"
 #include "runtime/rmr_report.h"
@@ -49,7 +50,13 @@ kex::history_report run_profile() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_fairness");
+  out.label("n", std::to_string(N));
+  out.label("k", std::to_string(K));
+  out.label("iters", std::to_string(ITERS));
+
   std::cout << "=== Fairness: overtakes per acquisition ===\n"
             << "N=" << N << " k=" << K << ", " << ITERS
             << " acquisitions/process; an overtake = a later arrival "
@@ -62,6 +69,12 @@ int main() {
                std::to_string(r.max_overtakes),
                kex::fmt_fixed(r.mean_overtakes, 2),
                std::to_string(r.acquisitions)});
+    out.add(std::string("fairness/") + name)
+        .label("algorithm", name)
+        .metric("starvation_free", r.starvation_free ? 1 : 0)
+        .metric("max_overtakes", static_cast<double>(r.max_overtakes))
+        .metric("mean_overtakes", r.mean_overtakes)
+        .metric("acquisitions", static_cast<double>(r.acquisitions));
   };
 
   add("FIFO ticket ([9]/[10]-class)",
@@ -83,5 +96,6 @@ int main() {
                "the paper's algorithms overtake boundedly — the liveness "
                "guarantee is starvation-freedom, traded for crash "
                "tolerance and local spinning.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "resilient/more_objects.h"
 #include "resilient/resilient.h"
+#include "runtime/bench_json.h"
 #include "runtime/process_group.h"
 #include "runtime/rmr_report.h"
 
@@ -41,13 +42,26 @@ std::uint64_t measure_op(Obj& obj, int c, Op op) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_objects");
+  out.label("n", std::to_string(N));
+  out.label("ops", std::to_string(OPS));
+
   std::cout << "=== Resilient objects: max remote refs per operation ===\n"
             << "N=" << N << " processes; operation measured at contention "
             << "c = k (the 'effectively wait-free' regime) and c = N\n\n";
 
   kex::table t({"object / op", "k", "resilience", "RMR @ c=k",
                 "RMR @ c=N"});
+  auto record = [&](const char* op, int k, std::uint64_t low,
+                    std::uint64_t high) {
+    out.add(std::string(op) + "/k:" + std::to_string(k))
+        .label("op", op)
+        .metric("k", k)
+        .metric("low_max_rmr", static_cast<double>(low))
+        .metric("high_max_rmr", static_cast<double>(high));
+  };
 
   for (int k : {1, 2, 4}) {
     {
@@ -62,6 +76,7 @@ int main() {
       t.add_row({"counter.add", std::to_string(k),
                  std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
                  kex::fmt_u64(high)});
+      record("counter.add", k, low, high);
     }
     {
       kex::resilient_queue<sim> obj(N, k);
@@ -77,6 +92,7 @@ int main() {
       t.add_row({"queue.enq+deq", std::to_string(k),
                  std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
                  kex::fmt_u64(high)});
+      record("queue.enq_deq", k, low, high);
     }
     {
       kex::resilient_kv<sim> obj(N, k);
@@ -90,6 +106,7 @@ int main() {
       t.add_row({"kv.put", std::to_string(k),
                  std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
                  kex::fmt_u64(high)});
+      record("kv.put", k, low, high);
     }
     {
       kex::resilient_snapshot<sim> obj(N, k);
@@ -103,6 +120,7 @@ int main() {
       t.add_row({"snapshot.pub+scan", std::to_string(k),
                  std::to_string(k - 1) + " crashes", kex::fmt_u64(low),
                  kex::fmt_u64(high)});
+      record("snapshot.pub_scan", k, low, high);
     }
   }
   t.print(std::cout);
@@ -113,5 +131,6 @@ int main() {
                "wrapper's tree slow path bounds the damage.\n"
             << "Universal-construction ops (queue/kv) also pay helping "
                "costs that grow with concurrent sessions.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

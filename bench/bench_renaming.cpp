@@ -7,6 +7,7 @@
 #include "renaming/bitmask_renaming.h"
 #include "renaming/splitter_renaming.h"
 #include "renaming/tas_renaming.h"
+#include "runtime/bench_json.h"
 #include "runtime/process_group.h"
 #include "runtime/rmr_report.h"
 
@@ -44,7 +45,10 @@ std::uint64_t measure_renaming(int n, int k, int c, int iters, Ren& ren,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_renaming");
+
   std::cout << "=== Renaming layer: RMR per name acquire(+release) ===\n"
             << "measured inside a Theorem-3 k-exclusion critical section\n\n";
 
@@ -73,6 +77,14 @@ int main() {
                std::to_string(k + 1), kex::fmt_u64(bmask),
                kex::fmt_u64(one_shot),
                std::to_string(k * (k + 1) / 2)});
+    out.add("renaming/k:" + std::to_string(k))
+        .metric("k", k)
+        .metric("tas_low_max_rmr", static_cast<double>(low))
+        .metric("tas_high_max_rmr", static_cast<double>(high))
+        .metric("bound", static_cast<double>(k + 1))
+        .metric("bitmask_high_max_rmr", static_cast<double>(bmask))
+        .metric("splitter_one_shot_max_rmr", static_cast<double>(one_shot))
+        .metric("splitter_name_space", static_cast<double>(k * (k + 1) / 2));
   }
   t.print(std::cout);
 
@@ -80,5 +92,6 @@ int main() {
                "one write to release (the paper's '+k' in Theorems 9/10); "
                "the read/write grid trades primitive strength for a "
                "k(k+1)/2 name space and one-shot use.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

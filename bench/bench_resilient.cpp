@@ -10,6 +10,7 @@
 
 #include "baselines/atomic_queue_kex.h"
 #include "resilient/resilient.h"
+#include "runtime/bench_json.h"
 #include "runtime/process_group.h"
 #include "runtime/rmr_report.h"
 
@@ -47,7 +48,12 @@ long run_with_failures(int failures) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_resilient");
+  out.label("n", std::to_string(N));
+  out.label("k", std::to_string(K));
+
   std::cout << "=== (k-1)-resilient shared counter under crash injection ==="
             << "\nN=" << N << " processes, k=" << K << " (tolerates "
             << K - 1 << " failures), " << OPS
@@ -61,6 +67,11 @@ int main() {
     t.add_row({std::to_string(f), std::to_string(N - f),
                std::to_string(ops), std::to_string(expect),
                ops == expect ? "yes" : "NO"});
+    out.add("counter/failures:" + std::to_string(f))
+        .metric("failures", f)
+        .metric("survivors", N - f)
+        .metric("ops_completed", static_cast<double>(ops))
+        .metric("ops_expected", static_cast<double>(expect));
   }
   t.print(std::cout);
 
@@ -91,5 +102,8 @@ int main() {
                                : "was still blocked after 80 ms (expected: "
                                  "it would wait forever)")
             << "\n";
+  out.add("ticket_contrast").metric("second_process_entered",
+                                    entered.load() ? 1 : 0);
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

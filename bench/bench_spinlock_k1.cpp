@@ -18,6 +18,7 @@
 #include "baselines/mcs_lock.h"
 #include "baselines/ya_lock.h"
 #include "kex/algorithms.h"
+#include "runtime/bench_json.h"
 #include "runtime/rmr_meter.h"
 #include "runtime/rmr_report.h"
 
@@ -53,7 +54,11 @@ double wallclock_contended(int threads, int ops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_spinlock_k1");
+  out.label("n", std::to_string(N));
+
   std::cout << "=== k = 1: k-exclusion algorithms vs the MCS spin lock ===\n"
             << "N=" << N << " processes, full contention\n\n";
 
@@ -73,6 +78,11 @@ int main() {
     double ns = make_real();
     t.add_row({name, kex::fmt_u64(cc), kex::fmt_u64(dsm),
                kex::fmt_fixed(ns, 1)});
+    out.add(std::string("k1/") + name)
+        .label("algorithm", name)
+        .metric("cc_max_rmr", static_cast<double>(cc))
+        .metric("dsm_max_rmr", static_cast<double>(dsm))
+        .metric("wall_ns_per_op", ns);
   };
 
   add(
@@ -117,5 +127,6 @@ int main() {
                "pay O(log N) (tree/fast path) or O(N) (chain) at k=1 — "
                "the gap Section 5 poses as future work.  In exchange they "
                "tolerate crashes, which MCS does not.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

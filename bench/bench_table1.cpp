@@ -22,6 +22,7 @@
 #include "baselines/bakery_kex.h"
 #include "baselines/scan_kex.h"
 #include "kex/algorithms.h"
+#include "runtime/bench_json.h"
 #include "runtime/bounds.h"
 #include "runtime/rmr_meter.h"
 #include "runtime/rmr_report.h"
@@ -37,7 +38,7 @@ constexpr int K = 2;
 constexpr int ITERS = 40;
 
 struct row_out {
-  std::string contended_short, contended_long, low, solo;
+  std::uint64_t contended_short, contended_long, low, solo;
 };
 
 template <class KEx>
@@ -46,29 +47,34 @@ row_out measure_row(cost_model model) {
   {
     KEx alg(N, K);
     auto r = measure_rmr(alg, N, ITERS, model, /*cs_yields=*/8);
-    out.contended_short = kex::fmt_u64(r.max_pair);
+    out.contended_short = r.max_pair;
   }
   {
     KEx alg(N, K);
     auto r = measure_rmr(alg, N, ITERS, model, /*cs_yields=*/96);
-    out.contended_long = kex::fmt_u64(r.max_pair);
+    out.contended_long = r.max_pair;
   }
   {
     KEx alg(N, K);
     auto r = measure_rmr(alg, K, ITERS, model, /*cs_yields=*/8);
-    out.low = kex::fmt_u64(r.max_pair);
+    out.low = r.max_pair;
   }
   {
     KEx alg(N, K);
     auto r = measure_rmr(alg, 1, ITERS, model, /*cs_yields=*/0);
-    out.solo = kex::fmt_u64(r.max_pair);
+    out.solo = r.max_pair;
   }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_table1");
+  out.label("n", std::to_string(N));
+  out.label("k", std::to_string(K));
+
   std::cout << "=== Table 1: k-exclusion remote-reference complexity ===\n"
             << "N=" << N << " k=" << K << ", max remote refs per "
             << "entry+exit pair, " << ITERS << " acquisitions/process\n"
@@ -82,8 +88,19 @@ int main() {
 
   auto add = [&](const char* name, const char* model_name,
                  const char* paper_hi, const char* paper_lo, row_out r) {
-    t.add_row({name, model_name, paper_hi, paper_lo, r.contended_short,
-               r.contended_long, r.low, r.solo});
+    t.add_row({name, model_name, paper_hi, paper_lo,
+               kex::fmt_u64(r.contended_short),
+               kex::fmt_u64(r.contended_long), kex::fmt_u64(r.low),
+               kex::fmt_u64(r.solo)});
+    out.add(std::string("table1/") + name)
+        .label("algorithm", name)
+        .label("model", model_name)
+        .metric("contended_cs8_max_rmr",
+                static_cast<double>(r.contended_short))
+        .metric("contended_cs96_max_rmr",
+                static_cast<double>(r.contended_long))
+        .metric("low_max_rmr", static_cast<double>(r.low))
+        .metric("solo_max_rmr", static_cast<double>(r.solo));
   };
 
   using sim = sim_platform;
@@ -110,5 +127,6 @@ int main() {
             << "\n";
   std::cout << "Expected shape: baseline rows grow with hold time; "
                "Thm3/Thm7 rows do not and stay within their bounds.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "kex/algorithms.h"
+#include "runtime/bench_json.h"
 #include "runtime/bounds.h"
 #include "runtime/rmr_meter.h"
 #include "runtime/rmr_report.h"
@@ -21,9 +22,16 @@ struct shape {
 constexpr shape SHAPES[] = {{4, 1},  {4, 2},  {8, 2},  {8, 4},
                             {12, 3}, {16, 2}, {16, 4}, {24, 3}};
 
+std::string shape_tag(int n, int k) {
+  return "/N:" + std::to_string(n) + "/k:" + std::to_string(k);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_theorems_cc");
+
   std::cout << "=== Theorems 1-3 (cache-coherent machines) ===\n"
             << "max remote refs per entry+exit pair, full contention c=N "
             << "(and c<=k for Thm 3)\n\n";
@@ -39,6 +47,9 @@ int main() {
                  kex::fmt_u64(r.max_pair), std::to_string(bound),
                  r.max_pair <= static_cast<std::uint64_t>(bound) ? "yes"
                                                                  : "NO"});
+      out.add("thm1_inductive" + shape_tag(n, k))
+          .metric("max_rmr", static_cast<double>(r.max_pair))
+          .metric("bound", static_cast<double>(bound));
     }
     t.print(std::cout);
   }
@@ -55,6 +66,9 @@ int main() {
                  kex::fmt_u64(r.max_pair), std::to_string(bound),
                  r.max_pair <= static_cast<std::uint64_t>(bound) ? "yes"
                                                                  : "NO"});
+      out.add("thm2_tree" + shape_tag(n, k))
+          .metric("max_rmr", static_cast<double>(r.max_pair))
+          .metric("bound", static_cast<double>(bound));
     }
     t.print(std::cout);
   }
@@ -82,11 +96,17 @@ int main() {
                  kex::fmt_u64(low_meas), std::to_string(lo),
                  kex::fmt_u64(high_meas), std::to_string(hi),
                  ok ? "yes" : "NO"});
+      out.add("thm3_fast" + shape_tag(n, k))
+          .metric("low_max_rmr", static_cast<double>(low_meas))
+          .metric("bound_low", static_cast<double>(lo))
+          .metric("high_max_rmr", static_cast<double>(high_meas))
+          .metric("bound_high", static_cast<double>(hi));
     }
     t.print(std::cout);
   }
 
   std::cout << "\nShape check: Thm1 grows linearly in N-k; Thm2/Thm3 grow "
                "logarithmically in N/k; Thm3 at c<=k is independent of N.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "kex/algorithms.h"
+#include "runtime/bench_json.h"
 #include "runtime/bounds.h"
 #include "runtime/rmr_meter.h"
 #include "runtime/rmr_report.h"
@@ -23,9 +24,16 @@ struct shape {
 constexpr shape SHAPES[] = {{4, 1}, {4, 2},  {8, 2},
                             {8, 4}, {12, 3}, {16, 2}};
 
+std::string shape_tag(int n, int k) {
+  return "/N:" + std::to_string(n) + "/k:" + std::to_string(k);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  kex::bench_json out("bench_theorems_dsm");
+
   std::cout << "=== Theorems 5-7 (distributed shared-memory machines) ===\n"
             << "max remote refs per entry+exit pair, full contention c=N "
             << "(and c<=k for Thm 7)\n\n";
@@ -51,6 +59,10 @@ int main() {
       t.add_row({std::to_string(n), std::to_string(k), kex::fmt_u64(m6),
                  kex::fmt_u64(m5), std::to_string(bound),
                  ok ? "yes" : "NO"});
+      out.add("thm5_inductive" + shape_tag(n, k))
+          .metric("fig6_bounded_max_rmr", static_cast<double>(m6))
+          .metric("fig5_unbounded_max_rmr", static_cast<double>(m5))
+          .metric("bound", static_cast<double>(bound));
     }
     t.print(std::cout);
   }
@@ -66,6 +78,9 @@ int main() {
                  kex::fmt_u64(r.max_pair), std::to_string(bound),
                  r.max_pair <= static_cast<std::uint64_t>(bound) ? "yes"
                                                                  : "NO"});
+      out.add("thm6_tree" + shape_tag(n, k))
+          .metric("max_rmr", static_cast<double>(r.max_pair))
+          .metric("bound", static_cast<double>(bound));
     }
     t.print(std::cout);
   }
@@ -93,6 +108,11 @@ int main() {
                  kex::fmt_u64(low_meas), std::to_string(lo),
                  kex::fmt_u64(high_meas), std::to_string(hi),
                  ok ? "yes" : "NO"});
+      out.add("thm7_fast" + shape_tag(n, k))
+          .metric("low_max_rmr", static_cast<double>(low_meas))
+          .metric("bound_low", static_cast<double>(lo))
+          .metric("high_max_rmr", static_cast<double>(high_meas))
+          .metric("bound_high", static_cast<double>(hi));
     }
     t.print(std::cout);
   }
@@ -100,5 +120,6 @@ int main() {
   std::cout << "\nAll waiting in these algorithms is on variables owned by "
                "the waiting process (statement-14/9 spins), which is why "
                "the DSM counts stay bounded.\n";
+  if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;
 }

@@ -1,0 +1,72 @@
+#include "service/lock_table.h"
+
+namespace kex {
+
+// splitmix64 finalizer (Vigna).  Dense integer keys — row ids, sequence
+// numbers — are the common case for a lock manager, and without mixing
+// they would walk the shards in lockstep.
+std::uint64_t lock_table_hash(std::uint64_t key) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a, then the integer mixer: FNV alone is weak in its high bits,
+// which are exactly what multiply-shift sharding consumes.
+std::uint64_t lock_table_hash(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return lock_table_hash(h);
+}
+
+int lock_table_shard_of(std::uint64_t hash, int shards) {
+  KEX_CHECK_MSG(shards >= 1, "lock_table_shard_of: shards must be >= 1");
+  // Lemire's multiply-shift range reduction on the top 32 hash bits:
+  // (high32(hash) * shards) >> 32, no division, no power-of-two
+  // requirement, and no __int128 (which -Wpedantic rejects).
+  return static_cast<int>(((hash >> 32) * static_cast<std::uint64_t>(shards)) >>
+                          32);
+}
+
+std::uint64_t lock_table_stats::total_acquires() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards) t += s.acquires;
+  return t;
+}
+
+std::uint64_t lock_table_stats::total_fast_hits() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards) t += s.fast_hits;
+  return t;
+}
+
+std::uint64_t lock_table_stats::total_crashes() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards) t += s.crashes;
+  return t;
+}
+
+int lock_table_stats::max_occupancy() const {
+  int m = 0;
+  for (const auto& s : shards)
+    if (s.max_occupancy > m) m = s.max_occupancy;
+  return m;
+}
+
+double lock_table_stats::imbalance() const {
+  if (shards.empty()) return 0.0;
+  std::uint64_t total = total_acquires();
+  if (total == 0) return 1.0;
+  std::uint64_t max = 0;
+  for (const auto& s : shards)
+    if (s.acquires > max) max = s.acquires;
+  double mean =
+      static_cast<double>(total) / static_cast<double>(shards.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace kex

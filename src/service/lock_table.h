@@ -1,0 +1,232 @@
+// Sharded named-resource lock manager on top of (N,k)-exclusion.
+//
+// The paper guards one object; a service guards millions of *named*
+// resources.  `lock_table<P>` closes that gap the way databases do: hash
+// the resource key onto one of S independent shards, each shard a complete
+// (N,k)-exclusion instance chosen by catalog name (`make_kex`), so
+// disjoint keys proceed in parallel and every per-shard guarantee of the
+// underlying algorithm — at most k holders, local spinning, survival of
+// up to k-1 crashed holders — carries over unchanged.  The platform
+// template means the sim platform's crash injection and RMR meter apply
+// to the whole table for free.
+//
+// Usage pairs with the session registry (session_registry.h):
+//
+//   session_registry<P> reg(64);
+//   lock_table<P> table(/*shards=*/8, "cc_fast", /*n=*/64, /*k=*/4);
+//   auto s = reg.attach();
+//   { auto g = table.acquire(s, key); /* critical section for `key` */ }
+//
+// Semantics note: a shard bounds *occupancy* (at most k holders among the
+// keys hashing to it), it does not distinguish keys within the shard —
+// the same deliberate coarsening as a striped lock manager.  Callers that
+// need strict per-key mutual exclusion use k = 1 shards; callers guarding
+// k-replicated resources (the paper's motivating case) use k > 1 and
+// treat a shard as one replicated object.  A holder that crashes in its
+// critical section consumes one of its shard's k slots forever; the other
+// shards never notice.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "kex/any_kex.h"
+#include "service/session_registry.h"
+
+namespace kex {
+
+// --- non-template plumbing (lock_table.cpp) -------------------------------
+
+// Key -> 64-bit hash.  Integer keys go through a splitmix64-style mixer
+// (consecutive ids must not land on consecutive shards); string keys
+// through FNV-1a.  Both are fixed functions: shard placement is part of
+// the table's observable behaviour, so it must not vary across runs or
+// platforms.
+std::uint64_t lock_table_hash(std::uint64_t key);
+std::uint64_t lock_table_hash(std::string_view key);
+
+// Hash -> shard index in [0, shards).  Multiply-shift rather than modulo:
+// uses the high bits the mixers work hardest on, no division on the hot
+// path, and no power-of-two requirement on the shard count.
+int lock_table_shard_of(std::uint64_t hash, int shards);
+
+// One shard's counters, as sampled by lock_table::stats().
+struct lock_shard_stats {
+  std::uint64_t acquires = 0;   // guards handed out
+  std::uint64_t fast_hits = 0;  // acquired an otherwise-empty shard
+  std::uint64_t crashes = 0;    // holders that crashed in their CS
+  int max_occupancy = 0;        // peak concurrent holders (<= k always)
+  int occupancy = 0;            // current holders, crashed ones included
+};
+
+// Whole-table sample: per-shard rows plus totals.
+struct lock_table_stats {
+  std::vector<lock_shard_stats> shards;
+
+  std::uint64_t total_acquires() const;
+  std::uint64_t total_fast_hits() const;
+  std::uint64_t total_crashes() const;
+  int max_occupancy() const;
+
+  // Spread of acquires across shards: max over mean (1.0 = perfectly
+  // uniform).  The bench uses it to show what keyspace skew does to a
+  // striped table.
+  double imbalance() const;
+};
+
+// --------------------------------------------------------------------------
+
+template <Platform P>
+class lock_table {
+  using proc = typename P::proc;
+
+  // Per-shard state, cache-line separated so one hot shard's bookkeeping
+  // never false-shares with its neighbours.
+  struct alignas(cacheline_size) shard {
+    any_kex<P> kex;
+    std::atomic<std::uint64_t> acquires{0};
+    std::atomic<std::uint64_t> fast_hits{0};
+    std::atomic<std::uint64_t> crashes{0};
+    std::atomic<int> occupancy{0};
+    std::atomic<int> max_occupancy{0};
+  };
+
+ public:
+  // `algorithm` is any make_kex catalog name; n is the pid space (the
+  // session registry's capacity), k the per-shard concurrency bound.
+  lock_table(int shards, std::string_view algorithm, int n, int k)
+      : shards_(static_cast<std::size_t>(shards)), n_(n), k_(k) {
+    KEX_CHECK_MSG(shards >= 1, "lock_table requires at least one shard");
+    for (auto& s : shards_) s.kex = make_kex<P>(algorithm, n, k);
+  }
+
+  lock_table(const lock_table&) = delete;
+  lock_table& operator=(const lock_table&) = delete;
+
+  // RAII hold on one shard; releases on destruction.  Swallows
+  // process_failed in the destructor — a crashed holder never executes
+  // its exit section; the shard records the burned slot.
+  class guard {
+   public:
+    guard() = default;
+    guard(guard&& o) noexcept
+        : s_(std::exchange(o.s_, nullptr)), p_(std::exchange(o.p_, nullptr)) {}
+    guard& operator=(guard&& o) noexcept {
+      if (this != &o) {
+        release();
+        s_ = std::exchange(o.s_, nullptr);
+        p_ = std::exchange(o.p_, nullptr);
+      }
+      return *this;
+    }
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+    ~guard() { release(); }
+
+    explicit operator bool() const { return s_ != nullptr; }
+
+    // Release early (idempotent).
+    void release() {
+      if (s_ == nullptr) return;
+      auto* s = std::exchange(s_, nullptr);
+      // Occupancy drops before the exit section begins, so sampled
+      // occupancy never transiently exceeds the k holders actually in
+      // their critical sections.
+      s->occupancy.fetch_sub(1, std::memory_order_relaxed);
+      try {
+        s->kex.release(*p_);
+      } catch (const process_failed&) {
+        // The crashed holder keeps its slot forever (the model); put it
+        // back in the occupancy count and remember the burn.
+        s->occupancy.fetch_add(1, std::memory_order_relaxed);
+        s->crashes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+   private:
+    friend class lock_table;
+    guard(shard* s, proc* p) : s_(s), p_(p) {}
+
+    shard* s_ = nullptr;
+    proc* p_ = nullptr;
+  };
+
+  // Acquire the shard guarding `key`.  Blocks (starvation-free, per the
+  // underlying algorithm) while k other holders occupy the shard.
+  guard acquire(proc& p, std::uint64_t key) {
+    return acquire_shard(p, shard_of(key));
+  }
+  guard acquire(proc& p, std::string_view key) {
+    return acquire_shard(p, shard_of(key));
+  }
+
+  // Session-registry front door: anything exposing context() — i.e. a
+  // session_registry<P>::session — carries the proc context itself.
+  template <class S, class Key>
+    requires requires(S& s) { { s.context() } -> std::same_as<proc&>; }
+  guard acquire(S& s, Key key) {
+    return acquire(s.context(), key);
+  }
+
+  // Run `f()` while holding the shard for `key`.
+  template <class Key, class F>
+  auto with(proc& p, Key key, F&& f) {
+    guard g = acquire(p, key);
+    return std::forward<F>(f)();
+  }
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int n() const { return n_; }
+  int k() const { return k_; }
+
+  int shard_of(std::uint64_t key) const {
+    return lock_table_shard_of(lock_table_hash(key), shards());
+  }
+  int shard_of(std::string_view key) const {
+    return lock_table_shard_of(lock_table_hash(key), shards());
+  }
+
+  lock_table_stats stats() const {
+    lock_table_stats out;
+    out.shards.reserve(shards_.size());
+    for (const auto& s : shards_) {
+      lock_shard_stats row;
+      row.acquires = s.acquires.load(std::memory_order_relaxed);
+      row.fast_hits = s.fast_hits.load(std::memory_order_relaxed);
+      row.crashes = s.crashes.load(std::memory_order_relaxed);
+      row.max_occupancy = s.max_occupancy.load(std::memory_order_relaxed);
+      row.occupancy = s.occupancy.load(std::memory_order_relaxed);
+      out.shards.push_back(row);
+    }
+    return out;
+  }
+
+ private:
+  guard acquire_shard(proc& p, int idx) {
+    auto& s = shards_[static_cast<std::size_t>(idx)];
+    s.kex.acquire(p);
+    // Everything below is host-side bookkeeping — by the time it runs the
+    // caller is inside the critical section, and a sim-injected crash
+    // will surface at its next *shared* access, not here.
+    int now = s.occupancy.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = s.max_occupancy.load(std::memory_order_relaxed);
+    while (now > peak && !s.max_occupancy.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    s.acquires.fetch_add(1, std::memory_order_relaxed);
+    if (now == 1) s.fast_hits.fetch_add(1, std::memory_order_relaxed);
+    return guard(&s, &p);
+  }
+
+  std::vector<shard> shards_;
+  int n_, k_;
+};
+
+}  // namespace kex

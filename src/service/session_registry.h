@@ -1,0 +1,213 @@
+// Dynamic session registry: leasing the paper's fixed pids to a churning
+// thread population.
+//
+// Every algorithm in the library assumes the paper's system model — a
+// static set of N processes with preassigned ids 0..N-1.  A service does
+// not have that luxury: threads arrive, do work, and leave, and over its
+// lifetime far more than N distinct threads pass through.  The missing
+// piece is already in the paper: long-lived renaming (Figure 7, Theorems
+// 9/10) hands out names from a fixed range to an unbounded stream of
+// claimants, provided at most k hold names concurrently.  The registry is
+// exactly that, instantiated at full capacity (k = N): `attach()` leases a
+// pid out of 0..N-1 through the repo's own renaming stack and returns an
+// RAII `session` owning a ready-to-use `P::proc`; `detach()` (or the
+// session destructor) returns the pid for reuse.
+//
+// Admission control dogfoods the paper's other primitive: a saturating
+// fetch-and-decrement gate (footnote 2) counts free slots, so at most N
+// sessions are ever inside the renaming protocol — the precondition
+// Figure 7 requires.
+//
+// Crash accounting follows the model: a session that crashes while holding
+// a pid (anywhere in attach, its working lifetime, or detach) never
+// executes the release protocol, so the slot is burned permanently — the
+// registry-level analogue of a crash consuming one of the k critical-
+// section slots.  `capacity_remaining()` reports what is left; on the sim
+// platform the burn is detected at the throw site, so the number is exact
+// even for crashes injected mid-attach.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/platform.h"
+#include "renaming/bitmask_renaming.h"
+#include "renaming/tas_renaming.h"
+
+namespace kex {
+
+// Thrown by attach() when every slot is leased or burned.
+class registry_full : public std::runtime_error {
+ public:
+  explicit registry_full(int capacity)
+      : std::runtime_error("session_registry: all " +
+                           std::to_string(capacity) +
+                           " pid slots are leased or burned") {}
+};
+
+// `Renaming` is the long-lived renaming algorithm pids are leased
+// through: Figure 7's test-and-set scan by default (any capacity, O(N)
+// probes worst case), or `bitmask_renaming` (one-word CAS, capacity <= 64)
+// via the `bitmask_session_registry` alias below.
+template <Platform P, class Renaming = tas_renaming<P>>
+class session_registry {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  class session;
+
+  explicit session_registry(int capacity, cost_model model = cost_model::cc)
+      : capacity_(capacity),
+        model_(model),
+        names_(capacity),
+        gate_(capacity) {
+    KEX_CHECK_MSG(capacity >= 1, "session_registry requires capacity >= 1");
+  }
+
+  session_registry(const session_registry&) = delete;
+  session_registry& operator=(const session_registry&) = delete;
+
+  // Lease a pid; throws registry_full when none is free.  `arm` runs on
+  // the freshly built proc *before* the lease protocol touches shared
+  // memory — the hook the churn tests use to inject crashes at every
+  // statement offset of attach (e.g. `[&](auto& p) { p.fail_after(i); }`).
+  template <class Arm>
+  session attach(Arm&& arm) {
+    auto s = try_attach(std::forward<Arm>(arm));
+    if (!s) throw registry_full(capacity_);
+    return std::move(*s);
+  }
+  session attach() {
+    return attach([](proc&) {});
+  }
+
+  // As attach(), but returns nullopt instead of throwing when full.
+  template <class Arm>
+  std::optional<session> try_attach(Arm&& arm) {
+    // The proc starts with the out-of-band id `capacity` and assumes its
+    // leased pid once the protocol hands one out.  Registry variables have
+    // no owner, so the provisional id never misclassifies a DSM access.
+    auto p = std::make_unique<proc>(capacity_, model_);
+    arm(*p);
+    // Admission gate: saturating fetch-and-decrement on the free-slot
+    // count.  0 means full; a successful decrement bounds concurrent
+    // renaming participants to `capacity`, Figure 7's precondition.
+    if (gate_.value.fetch_dec_floor0(*p) == 0) return std::nullopt;
+    int pid;
+    try {
+      pid = names_.get_name(*p);
+    } catch (const process_failed&) {
+      // Crashed between taking the gate slot and finishing the rename:
+      // the slot (and possibly a half-claimed name bit) is burned.
+      burned_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+    p->id = pid;
+    int now = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = peak_active_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_active_.compare_exchange_weak(peak, now,
+                                               std::memory_order_relaxed)) {
+    }
+    attaches_.fetch_add(1, std::memory_order_relaxed);
+    return session(this, std::move(p));
+  }
+  std::optional<session> try_attach() {
+    return try_attach([](proc&) {});
+  }
+
+  // --- introspection ------------------------------------------------------
+  int capacity() const { return capacity_; }
+
+  // Sessions currently holding a pid (crashed holders included until
+  // their session object is destroyed).
+  int active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Slots permanently consumed by crashed sessions.
+  int burned() const { return burned_.load(std::memory_order_relaxed); }
+
+  // Slots that can still ever be leased: capacity minus burned slots.
+  int capacity_remaining() const { return capacity_ - burned(); }
+
+  // Lifetime attach count and the high-water mark of concurrent sessions.
+  std::uint64_t total_attaches() const {
+    return attaches_.load(std::memory_order_relaxed);
+  }
+  int peak_active() const {
+    return peak_active_.load(std::memory_order_relaxed);
+  }
+
+  // RAII pid lease.  Owns the proc context its holder uses for every
+  // shared-memory access; detaches (pid returned for reuse) on
+  // destruction.  A crash inside detach burns the slot instead.
+  class session {
+   public:
+    session() = default;
+    session(session&& o) noexcept
+        : reg_(std::exchange(o.reg_, nullptr)), p_(std::move(o.p_)) {}
+    session& operator=(session&& o) noexcept {
+      if (this != &o) {
+        detach();
+        reg_ = std::exchange(o.reg_, nullptr);
+        p_ = std::move(o.p_);
+      }
+      return *this;
+    }
+    session(const session&) = delete;
+    session& operator=(const session&) = delete;
+
+    ~session() { detach(); }
+
+    explicit operator bool() const { return reg_ != nullptr; }
+    int pid() const { return p_->id; }
+    proc& context() { return *p_; }
+
+    // Release the pid early (idempotent).  Swallows process_failed — a
+    // crashed process does not execute its exit protocol; the registry
+    // records the burned slot.
+    void detach() {
+      if (reg_ == nullptr) return;
+      auto* reg = std::exchange(reg_, nullptr);
+      reg->active_.fetch_sub(1, std::memory_order_relaxed);
+      try {
+        reg->names_.put_name(*p_, p_->id);
+        reg->gate_.value.fetch_add(*p_, 1);
+      } catch (const process_failed&) {
+        reg->burned_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+   private:
+    friend class session_registry;
+    session(session_registry* reg, std::unique_ptr<proc> p)
+        : reg_(reg), p_(std::move(p)) {}
+
+    session_registry* reg_ = nullptr;
+    std::unique_ptr<proc> p_;
+  };
+
+ private:
+  int capacity_;
+  cost_model model_;
+  Renaming names_;                    // pid pool: long-lived renaming at k=N
+  padded<var<int>> gate_;             // free-slot count (admission control)
+  std::atomic<int> active_{0};
+  std::atomic<int> burned_{0};
+  std::atomic<int> peak_active_{0};
+  std::atomic<std::uint64_t> attaches_{0};
+};
+
+// The one-word CAS variant: cheaper probes, capacity limited to 64.
+template <Platform P>
+using bitmask_session_registry = session_registry<P, bitmask_renaming<P>>;
+
+}  // namespace kex

@@ -1,0 +1,234 @@
+// Session registry: dynamic pid leasing over the long-lived renaming
+// stack.  Pids are unique among concurrent sessions, fully reused after
+// detach, bounded by capacity, and a session that crashes holding a pid
+// burns exactly that slot — capacity_remaining() stays exact under
+// crashes injected at every statement offset of attach and detach.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "service/session_registry.h"
+
+namespace kex {
+namespace {
+
+using sim = sim_platform;
+using real = real_platform;
+
+// Fill the registry from free slots: attaches until try_attach reports
+// full, asserts the leased pids are unique and in range, releases them
+// all, and returns how many fit.  This is the ground truth that
+// capacity_remaining() must predict.
+template <class P, class R>
+int fill_and_drain(session_registry<P, R>& reg) {
+  std::vector<typename session_registry<P, R>::session> held;
+  while (auto s = reg.try_attach()) held.push_back(std::move(*s));
+  std::set<int> pids;
+  for (auto& s : held) {
+    EXPECT_GE(s.pid(), 0);
+    EXPECT_LT(s.pid(), reg.capacity());
+    pids.insert(s.pid());
+  }
+  EXPECT_EQ(pids.size(), held.size()) << "duplicate pids leased";
+  return static_cast<int>(held.size());
+}
+
+TEST(SessionRegistry, AttachLeasesDenseUniquePids) {
+  session_registry<sim> reg(5);
+  EXPECT_EQ(fill_and_drain(reg), 5);
+  EXPECT_EQ(reg.active(), 0);
+  EXPECT_EQ(reg.peak_active(), 5);
+}
+
+TEST(SessionRegistry, AttachBeyondCapacityFailsCleanly) {
+  session_registry<sim> reg(2);
+  auto a = reg.attach();
+  auto b = reg.attach();
+  EXPECT_FALSE(reg.try_attach().has_value());
+  EXPECT_THROW(reg.attach(), registry_full);
+  // The failed admission must not leak a slot.
+  b.detach();
+  EXPECT_TRUE(reg.try_attach().has_value());
+}
+
+TEST(SessionRegistry, DetachReturnsPidForReuse) {
+  session_registry<sim> reg(3);
+  // Far more attaches than capacity, sequentially: every lease is pid 0
+  // (Figure 7 hands out the lowest free name).
+  for (int i = 0; i < 20; ++i) {
+    auto s = reg.attach();
+    EXPECT_EQ(s.pid(), 0);
+  }
+  EXPECT_EQ(reg.total_attaches(), 20u);
+  EXPECT_EQ(reg.capacity_remaining(), 3);
+}
+
+TEST(SessionRegistry, SessionMoveTransfersTheLease) {
+  session_registry<sim> reg(2);
+  auto a = reg.attach();
+  int pid = a.pid();
+  session_registry<sim>::session b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b.pid(), pid);
+  EXPECT_EQ(reg.active(), 1);
+  b.detach();
+  EXPECT_EQ(reg.active(), 0);
+  EXPECT_EQ(fill_and_drain(reg), 2);
+}
+
+TEST(SessionRegistry, BitmaskVariantLeasesTheSamePool) {
+  bitmask_session_registry<sim> reg(6);
+  EXPECT_EQ(fill_and_drain(reg), 6);
+  for (int i = 0; i < 10; ++i) {
+    auto s = reg.attach();
+    EXPECT_EQ(s.pid(), 0);
+  }
+}
+
+// Randomized attach/detach storm: more threads than pid slots, every
+// thread churning sessions and stamping a holder table.  Two holders of
+// the same pid at once is the fatal outcome renaming forbids.
+template <class P, class R>
+void churn_storm(session_registry<P, R>& reg, int threads, int iters) {
+  const int cap = reg.capacity();
+  std::vector<std::atomic<int>> holder(static_cast<std::size_t>(cap));
+  for (auto& h : holder) h.store(-1);
+  std::atomic<bool> double_lease{false};
+  std::atomic<std::uint64_t> attaches{0};
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t) * 7919u + 17u);
+      for (int i = 0; i < iters; ++i) {
+        auto s = reg.try_attach();
+        if (!s) {
+          std::this_thread::yield();
+          continue;
+        }
+        auto idx = static_cast<std::size_t>(s->pid());
+        if (holder[idx].exchange(t) != -1) double_lease.store(true);
+        attaches.fetch_add(1);
+        // Hold the lease for a random beat so sessions overlap.
+        if (rng() % 4 == 0) std::this_thread::yield();
+        if (holder[idx].exchange(-1) == -1) double_lease.store(true);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+
+  EXPECT_FALSE(double_lease.load()) << "one pid leased to two sessions";
+  EXPECT_GT(attaches.load(), static_cast<std::uint64_t>(cap));
+  EXPECT_EQ(reg.active(), 0);
+  EXPECT_EQ(reg.burned(), 0);
+  EXPECT_LE(reg.peak_active(), cap);
+  // After the storm every slot is reusable.
+  EXPECT_EQ(fill_and_drain(reg), cap);
+}
+
+TEST(SessionRegistryChurn, StormOnSimPlatform) {
+  session_registry<sim> reg(4, cost_model::cc);
+  churn_storm(reg, 8, 150);
+}
+
+TEST(SessionRegistryChurn, StormOnRealPlatform) {
+  session_registry<real> reg(4, cost_model::none);
+  churn_storm(reg, 8, 400);
+}
+
+TEST(SessionRegistryChurn, StormOnBitmaskRegistry) {
+  bitmask_session_registry<real> reg(3, cost_model::none);
+  churn_storm(reg, 6, 400);
+}
+
+// Crash a session at every statement offset of attach (and, for offsets
+// past the attach protocol, of the immediately following detach).  After
+// each injected crash capacity_remaining() must be *exact*: the registry
+// can lease precisely that many slots, and one more attach fails.
+TEST(SessionRegistryCrash, EveryStatementOffsetOfAttachAndDetach) {
+  constexpr int CAP = 3;
+  // Generous upper bound on shared accesses in attach+detach at this
+  // capacity; offsets beyond the protocol simply don't crash.
+  constexpr std::uint64_t MAX_OFFSET = 24;
+  bool saw_attach_crash = false, saw_clean_run = false;
+  for (std::uint64_t off = 1; off <= MAX_OFFSET; ++off) {
+    session_registry<sim> reg(CAP);
+    bool crashed_in_attach = false;
+    try {
+      auto s = reg.attach([&](sim::proc& p) { p.fail_after(off); });
+      // Attach survived; the armed crash (if any is left) lands in the
+      // session's detach when `s` goes out of scope.
+    } catch (const process_failed&) {
+      crashed_in_attach = true;
+    }
+    saw_attach_crash |= crashed_in_attach;
+    const int burned = reg.burned();
+    EXPECT_GE(burned, 0);
+    EXPECT_LE(burned, 1) << "one crash may burn at most one slot";
+    saw_clean_run |= (burned == 0 && !crashed_in_attach);
+    EXPECT_EQ(reg.capacity_remaining(), CAP - burned);
+    EXPECT_EQ(reg.active(), 0);
+    // The number the registry reports is the number that actually fits.
+    EXPECT_EQ(fill_and_drain(reg), reg.capacity_remaining())
+        << "capacity_remaining() wrong after crash at offset " << off;
+  }
+  EXPECT_TRUE(saw_attach_crash) << "offset sweep never hit the attach path";
+  EXPECT_TRUE(saw_clean_run) << "offset sweep never cleared the protocol";
+}
+
+// Same sweep against the bitmask pool: different renaming primitive, same
+// burn accounting.
+TEST(SessionRegistryCrash, OffsetSweepOnBitmaskRegistry) {
+  constexpr int CAP = 3;
+  for (std::uint64_t off = 1; off <= 16; ++off) {
+    bitmask_session_registry<sim> reg(CAP);
+    try {
+      auto s = reg.attach([&](sim::proc& p) { p.fail_after(off); });
+    } catch (const process_failed&) {
+    }
+    EXPECT_LE(reg.burned(), 1);
+    EXPECT_EQ(fill_and_drain(reg), reg.capacity_remaining());
+  }
+}
+
+// A session crashing while *holding* its pid (between attach and detach)
+// burns the slot; the survivors' slots keep cycling.
+TEST(SessionRegistryCrash, CrashWhileHoldingBurnsExactlyOneSlot) {
+  session_registry<sim> reg(3);
+  {
+    auto doomed = reg.attach();
+    auto survivor = reg.attach();
+    doomed.context().fail();  // undetectable crash while attached
+    // doomed's destructor runs its exit protocol, which throws on the
+    // first shared access and is swallowed; the slot is burned.
+  }
+  EXPECT_EQ(reg.burned(), 1);
+  EXPECT_EQ(reg.capacity_remaining(), 2);
+  EXPECT_EQ(fill_and_drain(reg), 2);
+  // Burned is permanent: churn does not resurrect the slot.
+  for (int i = 0; i < 10; ++i) reg.attach();
+  EXPECT_EQ(reg.capacity_remaining(), 2);
+}
+
+// Crashes can exhaust the registry entirely — the service-level analogue
+// of the k-th failure exhausting a k-exclusion object's resilience.
+TEST(SessionRegistryCrash, AllSlotsCanBurn) {
+  session_registry<sim> reg(2);
+  for (int i = 0; i < 2; ++i) {
+    auto s = reg.attach();
+    s.context().fail();
+  }
+  EXPECT_EQ(reg.capacity_remaining(), 0);
+  EXPECT_FALSE(reg.try_attach().has_value());
+  EXPECT_THROW(reg.attach(), registry_full);
+}
+
+}  // namespace
+}  // namespace kex
