@@ -16,8 +16,11 @@
 // critical-section hold time: globally-spinning algorithms pay remote
 // references for the whole wait, the paper's local-spin algorithms do not.
 // Baseline rows are complexity-faithful stand-ins (see DESIGN.md §4).
+#include <cstring>
 #include <iostream>
 
+#include "analysis/spin_lint.h"
+#include "analysis/trace.h"
 #include "baselines/atomic_queue_kex.h"
 #include "baselines/bakery_kex.h"
 #include "baselines/scan_kex.h"
@@ -39,10 +42,17 @@ constexpr int ITERS = 40;
 
 struct row_out {
   std::uint64_t contended_short, contended_long, low, solo;
+  // --audit mode: local-spin lint over the long-hold contended run.
+  bool audited = false;
+  kex::analysis::spin_lint_report lint;
 };
 
+// Free-running traces are a sample, not a stepped linearization; give the
+// lint extra slack for coincidental invalidations (analysis/trace.h).
+constexpr std::uint64_t AUDIT_TOLERANCE = 8;
+
 template <class KEx>
-row_out measure_row(cost_model model) {
+row_out measure_row(cost_model model, bool audit) {
   row_out out;
   {
     KEx alg(N, K);
@@ -51,8 +61,18 @@ row_out measure_row(cost_model model) {
   }
   {
     KEx alg(N, K);
-    auto r = measure_rmr(alg, N, ITERS, model, /*cs_yields=*/96);
+    // Per-lane cap: the remote spinners' access counts explode with hold
+    // time (that IS the measurement); lint a bounded prefix sample.
+    kex::analysis::access_trace trace(N, /*per_lane_cap=*/1 << 16);
+    auto r = measure_rmr(alg, N, ITERS, model, /*cs_yields=*/96,
+                         audit ? &trace : nullptr);
     out.contended_long = r.max_pair;
+    if (audit) {
+      kex::analysis::spin_lint_options lo;
+      lo.nonfinal_remote_tolerance = AUDIT_TOLERANCE;
+      out.lint = kex::analysis::lint_local_spin(trace.events(), lo);
+      out.audited = true;
+    }
   }
   {
     KEx alg(N, K);
@@ -71,9 +91,13 @@ row_out measure_row(cost_model model) {
 
 int main(int argc, char** argv) {
   std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  bool audit = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--audit") == 0) audit = true;
   kex::bench_json out("bench_table1");
   out.label("n", std::to_string(N));
   out.label("k", std::to_string(K));
+  out.label("audit", audit ? "on" : "off");
 
   std::cout << "=== Table 1: k-exclusion remote-reference complexity ===\n"
             << "N=" << N << " k=" << K << ", max remote refs per "
@@ -92,30 +116,47 @@ int main(int argc, char** argv) {
                kex::fmt_u64(r.contended_short),
                kex::fmt_u64(r.contended_long), kex::fmt_u64(r.low),
                kex::fmt_u64(r.solo)});
-    out.add(std::string("table1/") + name)
-        .label("algorithm", name)
-        .label("model", model_name)
-        .metric("contended_cs8_max_rmr",
-                static_cast<double>(r.contended_short))
-        .metric("contended_cs96_max_rmr",
-                static_cast<double>(r.contended_long))
-        .metric("low_max_rmr", static_cast<double>(r.low))
-        .metric("solo_max_rmr", static_cast<double>(r.solo));
+    auto& rec = out.add(std::string("table1/") + name)
+                    .label("algorithm", name)
+                    .label("model", model_name)
+                    .metric("contended_cs8_max_rmr",
+                            static_cast<double>(r.contended_short))
+                    .metric("contended_cs96_max_rmr",
+                            static_cast<double>(r.contended_long))
+                    .metric("low_max_rmr", static_cast<double>(r.low))
+                    .metric("solo_max_rmr", static_cast<double>(r.solo));
+    if (r.audited) {
+      rec.label("spin_lint", r.lint.clean() ? "clean" : "flagged")
+          .metric("lint_wait_episodes",
+                  static_cast<double>(r.lint.episodes_waited))
+          .metric("lint_worst_wasted",
+                  static_cast<double>(r.lint.worst_wasted));
+      std::cout << "  audit " << (r.lint.clean() ? "clean  " : "FLAGGED")
+                << "  " << name << ": " << r.lint.episodes_waited
+                << " wait episodes, worst wasted remote refs "
+                << r.lint.worst_wasted << "\n";
+    }
   };
+
+  if (audit)
+    std::cout << "--audit: local-spin lint over the cs=96 contended run "
+                 "(tolerance " << AUDIT_TOLERANCE << " for free-running "
+                 "traces)\n\n";
 
   using sim = sim_platform;
   add("[9]/[10] Fig.1 queue, atomic sections", "CC", "unbounded", "O(1)",
-      measure_row<kex::baselines::atomic_queue_kex<sim>>(cost_model::cc));
+      measure_row<kex::baselines::atomic_queue_kex<sim>>(cost_model::cc,
+                                                         audit));
   add("[9]/[10]-class FIFO ticket", "DSM", "unbounded", "O(1)",
-      measure_row<kex::baselines::ticket_kex<sim>>(cost_model::dsm));
+      measure_row<kex::baselines::ticket_kex<sim>>(cost_model::dsm, audit));
   add("[8]-class bakery on bit registers", "DSM", "unbounded", "O(N^2)",
-      measure_row<kex::baselines::scan_kex<sim>>(cost_model::dsm));
+      measure_row<kex::baselines::scan_kex<sim>>(cost_model::dsm, audit));
   add("[1]-class bakery, atomic read/write", "DSM", "unbounded", "O(N)",
-      measure_row<kex::baselines::bakery_kex<sim>>(cost_model::dsm));
+      measure_row<kex::baselines::bakery_kex<sim>>(cost_model::dsm, audit));
   add("Thm 3: fast path + tree (this paper)", "CC", "O(k log(N/k))",
-      "O(k)", measure_row<kex::cc_fast<sim>>(cost_model::cc));
+      "O(k)", measure_row<kex::cc_fast<sim>>(cost_model::cc, audit));
   add("Thm 7: fast path + tree (this paper)", "DSM", "O(k log(N/k))",
-      "O(k)", measure_row<kex::dsm_fast<sim>>(cost_model::dsm));
+      "O(k)", measure_row<kex::dsm_fast<sim>>(cost_model::dsm, audit));
 
   t.print(std::cout);
 

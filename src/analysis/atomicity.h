@@ -1,0 +1,101 @@
+// Atomicity certifier: every atomic step must be a realizable
+// single-variable primitive.
+//
+// The paper opens with Figure 1 precisely to reject it: its ⟨…⟩ sections
+// atomically touch several variables, a primitive no machine provides
+// (Table 1's rows [9]/[10] "large atomic sections").  The library's own
+// algorithms use only read / write / fetch&add / compare&swap / exchange /
+// the footnote-2 range-checked decrement — one variable per step, which is
+// what makes the RMR accounting (one charged reference per primitive)
+// meaningful.
+//
+// The simulated platform enforces single-variable steps by construction
+// (each var method is one primitive), and algorithms that *simulate* a
+// large atomic section must bracket it with proc::begin_atomic/end_atomic
+// (via atomic_section_scope) so the trace records its extent.  This
+// certifier replays the trace and:
+//
+//   * verifies every unbracketed access is one of the realizable ops
+//     (footprint 1 by construction — reported for completeness);
+//   * computes the variable footprint of every bracketed section and
+//     collects those touching more than one variable.  Such sections are
+//     legal only for algorithms the audit configuration *declares*
+//     idealized (the Figure-1 baseline); anywhere else they are exactly
+//     the unrealizable primitive the paper exists to eliminate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/trace.h"
+
+namespace kex::analysis {
+
+struct atomic_section {
+  int pid = 0;
+  std::uint64_t section = 0;
+  std::uint64_t accesses = 0;
+  std::uint32_t footprint = 0;  // distinct variables touched
+};
+
+struct atomicity_report {
+  std::uint64_t single_steps = 0;     // accesses outside any section
+  std::uint64_t sections = 0;         // bracketed sections observed
+  std::uint32_t max_footprint = 0;    // worst section footprint (1 if none)
+  std::uint64_t op_counts[7] = {};    // per sim_op, realizable-primitive mix
+  std::vector<atomic_section> multivar_sections;
+
+  // Clean unless an undeclared multi-variable section appears.
+  bool clean(bool declared_idealized) const {
+    return declared_idealized || multivar_sections.empty();
+  }
+
+  std::string summary() const {
+    std::ostringstream os;
+    os << single_steps << " single-variable steps, " << sections
+       << " declared sections, max footprint " << max_footprint;
+    if (!multivar_sections.empty())
+      os << ", " << multivar_sections.size() << " multi-variable sections";
+    return os.str();
+  }
+};
+
+inline atomicity_report certify_atomicity(
+    const std::vector<traced_access>& events) {
+  atomicity_report report;
+  struct section_state {
+    std::set<const void*> vars;
+    std::uint64_t accesses = 0;
+  };
+  std::map<std::pair<int, std::uint64_t>, section_state> sections;
+
+  for (const auto& e : events) {
+    ++report.op_counts[static_cast<std::size_t>(e.op)];
+    if (e.section == 0) {
+      ++report.single_steps;
+      continue;
+    }
+    auto& s = sections[{e.pid, e.section}];
+    s.vars.insert(e.var);
+    ++s.accesses;
+  }
+
+  report.max_footprint = report.single_steps > 0 ? 1 : 0;
+  for (const auto& [key, s] : sections) {
+    ++report.sections;
+    auto footprint = static_cast<std::uint32_t>(s.vars.size());
+    if (footprint > report.max_footprint) report.max_footprint = footprint;
+    if (footprint > 1) {
+      report.multivar_sections.push_back(
+          {key.first, key.second, s.accesses, footprint});
+    }
+  }
+  return report;
+}
+
+}  // namespace kex::analysis

@@ -1,0 +1,561 @@
+// Protocol auditor: drives every algorithm in the catalog through
+// deterministic stepped schedules with the access trace attached, then runs
+// the three checkers over the recorded stream:
+//
+//   * spin_lint.h    — the paper's local-spin discipline (Section 2);
+//   * race_check.h   — client data guarded by an (N,k) object shows write
+//                      overlap <= k, and is race-free at k = 1;
+//   * atomicity.h    — every atomic step is a realizable single-variable
+//                      primitive unless the row *declares* itself idealized
+//                      (the Figure-1 baseline).
+//
+// A row's verdict is judged against what the theory predicts for that
+// algorithm: the paper's own algorithms must lint clean, the Table-1
+// remote-spinning baselines (ticket, bakery, scan, atomic_queue) must be
+// *caught* — an auditor that fails to flag a known violator is as broken
+// as one that flags Theorem 1.  `audit_row::as_expected()` encodes that,
+// and tools/kex_audit turns it into a CI gate.
+//
+// Every run goes through platform/stepper.h: the step gate serializes
+// shared accesses, so traces are exact, verdicts are reproducible, and the
+// same schedules replay forever.  Each configuration is driven under a
+// handful of schedules (round-robin plus adversarial prefixes) and the
+// verdicts are merged: lint findings from any schedule count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/atomicity.h"
+#include "analysis/race_check.h"
+#include "analysis/spin_lint.h"
+#include "analysis/trace.h"
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "kex/any_kex.h"
+#include "platform/stepper.h"
+#include "renaming/bitmask_renaming.h"
+#include "renaming/k_assignment.h"
+#include "renaming/splitter_renaming.h"
+#include "renaming/tas_renaming.h"
+#include "service/lock_table.h"
+#include "service/session_registry.h"
+
+namespace kex::analysis {
+
+// What the audited object is, which determines the workload that drives it.
+enum class audit_kind {
+  kexclusion,  // make_kex catalog name; CS increments one shared counter
+  renaming,    // get_name/put_name; each name guards its own slot
+  assignment,  // k_assignment acquire/release; name-indexed slots
+  service,     // lock_table; per-shard data under keyed guards
+  registry,    // session_registry attach/detach churn (sequential)
+};
+
+inline const char* to_string(audit_kind k) {
+  switch (k) {
+    case audit_kind::kexclusion: return "kexclusion";
+    case audit_kind::renaming: return "renaming";
+    case audit_kind::assignment: return "assignment";
+    case audit_kind::service: return "service";
+    case audit_kind::registry: return "registry";
+  }
+  return "?";
+}
+
+struct audit_config {
+  std::string name;  // catalog / factory name; the row label
+  audit_kind kind = audit_kind::kexclusion;
+  cost_model model = cost_model::cc;  // machine the row is claimed for
+  int n = 4;                          // processes driven
+  int k = 1;                          // claimed CS capacity / name count
+  int iterations = 3;                 // CS entries per process per schedule
+  bool expect_local_spin = true;      // theory's lint verdict for this row
+  bool declared_idealized = false;    // Figure-1 rows: multi-var sections OK
+  // Algorithms that hold an OS mutex across shared accesses (the Figure-1
+  // queue's big_atomic_) cannot run under the step gate: a worker parked
+  // inside the mutex blocks another worker *on* the mutex, which then
+  // never reaches its own gate.  Such rows run free-running instead —
+  // traces are a faithful sample (analysis/trace.h), which the lint and
+  // atomicity checkers accept; the race check is skipped (no exact
+  // version edges without the stepper).
+  bool stepped = true;
+
+  std::string label() const {
+    std::ostringstream os;
+    os << name << "/" << to_string(model) << "/n" << n << "k" << k;
+    return os.str();
+  }
+};
+
+struct checker_result {
+  bool clean = true;
+  std::string detail;  // first finding, or a one-line summary
+};
+
+struct audit_row {
+  audit_config config;
+  bool deadlocked = false;
+  int schedules = 0;              // stepped runs driven
+  std::uint64_t events = 0;       // traced accesses across all runs
+  std::uint64_t episodes = 0;     // wait episodes that actually waited
+  std::uint64_t worst_wasted = 0; // lint: worst wasted-remote count seen
+  int max_concurrent_writers = 0; // race: high-water concurrent writers
+  checker_result spin, race, atomicity;
+
+  // The row matches the theory: no deadlock, race- and atomicity-clean,
+  // and the lint verdict equals the prediction — clean for the paper's
+  // algorithms, *flagged* for the remote-spinning baselines.
+  bool as_expected() const {
+    return !deadlocked && race.clean && atomicity.clean &&
+           spin.clean == config.expect_local_spin;
+  }
+};
+
+namespace detail {
+
+// Schedules driven per configuration: exact round-robin (empty prefix — the
+// completion loop is round-robin), a solo burst (process 0 runs deep alone,
+// parking everyone else mid-entry), and a duel (0 and 1 alternate). The
+// prefixes are short; the fair completion phase supplies the churn that
+// makes remote spins bleed.
+inline std::vector<std::vector<int>> audit_prefixes(int n) {
+  std::vector<std::vector<int>> out;
+  out.push_back({});
+  out.push_back(std::vector<int>(8, 0));
+  if (n >= 2) {
+    std::vector<int> duel;
+    for (int i = 0; i < 5; ++i) {
+      duel.push_back(0);
+      duel.push_back(1);
+    }
+    out.push_back(duel);
+  }
+  return out;
+}
+
+// One stepped run of `scripts` with a trace attached; appends the events.
+inline bool run_traced(
+    std::vector<std::function<void(sim_platform::proc&)>> scripts,
+    const std::vector<int>& prefix, cost_model model, int max_pids,
+    std::vector<traced_access>& sink) {
+  access_trace trace(max_pids);
+  stepped_options options;
+  options.model = model;
+  options.setup = [&](process_set<sim_platform>& procs) {
+    trace.attach(procs);
+  };
+  auto outcome = run_stepped(std::move(scripts), prefix, options);
+  auto events = trace.events();
+  sink.insert(sink.end(), events.begin(), events.end());
+  return outcome.deadlocked;
+}
+
+struct schedule_run {
+  std::vector<traced_access> events;
+  race_options race;
+  bool deadlocked = false;
+};
+
+}  // namespace detail
+
+// Audit one configuration: drive it under the standard schedules, collect
+// per-schedule traces, and merge the three checkers' verdicts.
+inline audit_row run_audit(const audit_config& cfg) {
+  audit_row row;
+  row.config = cfg;
+
+  // One schedule_run per prefix; the workload builders below fill in the
+  // scripts, the data-variable set, and the pid space.
+  std::vector<detail::schedule_run> runs;
+
+  switch (cfg.kind) {
+    case audit_kind::kexclusion: {
+      if (!cfg.stepped) {
+        // Free-running drive (see audit_config::stepped).  More cycles
+        // than the stepped runs: contention, not the scheduler, supplies
+        // the churn here.
+        auto alg = make_kex<sim_platform>(cfg.name, cfg.n, cfg.k);
+        access_trace trace(cfg.n);
+        process_set<sim_platform> procs(cfg.n, cfg.model);
+        trace.attach(procs);
+        run_workers<sim_platform>(
+            procs, first_pids(cfg.n), [&](sim_platform::proc& p) {
+              for (int i = 0; i < cfg.iterations * 4; ++i) {
+                alg.acquire(p);
+                for (int y = 0; y < 3; ++y) p.spin();
+                alg.release(p);
+              }
+            });
+        detail::schedule_run r;
+        r.events = trace.events();
+        r.race.nprocs = cfg.n;
+        r.race.k = cfg.k;
+        runs.push_back(std::move(r));
+        ++row.schedules;
+        break;
+      }
+      for (const auto& prefix : detail::audit_prefixes(cfg.n)) {
+        // Fresh object and data per schedule: verdicts must not leak
+        // state across runs.
+        auto alg = std::make_shared<any_kex<sim_platform>>(
+            make_kex<sim_platform>(cfg.name, cfg.n, cfg.k));
+        auto data = std::make_shared<sim_platform::var<long>>(0);
+        std::vector<std::function<void(sim_platform::proc&)>> scripts;
+        for (int pid = 0; pid < cfg.n; ++pid) {
+          scripts.push_back([alg, data, iters = cfg.iterations](
+                                sim_platform::proc& p) {
+            for (int i = 0; i < iters; ++i) {
+              alg->acquire(p);
+              long v = data->read(p);
+              data->write(p, v + 1);
+              alg->release(p);
+            }
+          });
+        }
+        detail::schedule_run r;
+        r.race.nprocs = cfg.n;
+        r.race.k = cfg.k;
+        r.race.data_vars = {data.get()};
+        r.deadlocked = detail::run_traced(std::move(scripts), prefix,
+                                          cfg.model, cfg.n, r.events);
+        runs.push_back(std::move(r));
+        ++row.schedules;
+      }
+      break;
+    }
+
+    case audit_kind::renaming: {
+      // k participants (the bound the renaming contract requires); name j
+      // guards slot j, so every slot must look mutually excluded (k=1).
+      for (const auto& prefix : detail::audit_prefixes(cfg.k)) {
+        struct state {
+          std::unique_ptr<tas_renaming<sim_platform>> tas;
+          std::unique_ptr<bitmask_renaming<sim_platform>> bitmask;
+          std::unique_ptr<splitter_renaming<sim_platform>> splitter;
+          std::vector<padded<sim_platform::var<long>>> slots;
+        };
+        auto st = std::make_shared<state>();
+        int slot_count = cfg.k;
+        bool single_shot = false;
+        if (cfg.name == "tas_renaming") {
+          st->tas = std::make_unique<tas_renaming<sim_platform>>(cfg.k);
+        } else if (cfg.name == "bitmask_renaming") {
+          st->bitmask =
+              std::make_unique<bitmask_renaming<sim_platform>>(cfg.k);
+        } else if (cfg.name == "splitter_renaming") {
+          st->splitter =
+              std::make_unique<splitter_renaming<sim_platform>>(cfg.k);
+          slot_count = cfg.k * (cfg.k + 1) / 2;  // the splitter name space
+          single_shot = true;  // one name per epoch; no put_name
+        } else {
+          KEX_CHECK_MSG(false, "run_audit: unknown renaming '" << cfg.name
+                                                               << "'");
+        }
+        st->slots = std::vector<padded<sim_platform::var<long>>>(
+            static_cast<std::size_t>(slot_count));
+        int iters = single_shot ? 1 : cfg.iterations;
+        std::vector<std::function<void(sim_platform::proc&)>> scripts;
+        for (int pid = 0; pid < cfg.k; ++pid) {
+          scripts.push_back([st, iters](sim_platform::proc& p) {
+            for (int i = 0; i < iters; ++i) {
+              int name = -1;
+              if (st->tas) name = st->tas->get_name(p);
+              if (st->bitmask) name = st->bitmask->get_name(p);
+              if (st->splitter) name = st->splitter->get_name(p);
+              auto& slot = st->slots[static_cast<std::size_t>(name)].value;
+              long v = slot.read(p);
+              slot.write(p, v + 1);
+              if (st->tas) st->tas->put_name(p, name);
+              if (st->bitmask) st->bitmask->put_name(p, name);
+            }
+          });
+        }
+        detail::schedule_run r;
+        r.race.nprocs = cfg.k;
+        r.race.k = 1;  // each name is held by at most one process
+        for (auto& s : st->slots) r.race.data_vars.insert(&s.value);
+        r.deadlocked = detail::run_traced(std::move(scripts), prefix,
+                                          cfg.model, cfg.k, r.events);
+        runs.push_back(std::move(r));
+        ++row.schedules;
+      }
+      break;
+    }
+
+    case audit_kind::assignment: {
+      for (const auto& prefix : detail::audit_prefixes(cfg.n)) {
+        struct state {
+          cc_assignment<sim_platform> assign;
+          std::vector<padded<sim_platform::var<long>>> slots;
+          explicit state(int n, int k)
+              : assign(n, k),
+                slots(static_cast<std::size_t>(k)) {}
+        };
+        auto st = std::make_shared<state>(cfg.n, cfg.k);
+        std::vector<std::function<void(sim_platform::proc&)>> scripts;
+        for (int pid = 0; pid < cfg.n; ++pid) {
+          scripts.push_back([st, iters = cfg.iterations](
+                                sim_platform::proc& p) {
+            for (int i = 0; i < iters; ++i) {
+              int name = st->assign.acquire(p);
+              auto& slot = st->slots[static_cast<std::size_t>(name)].value;
+              long v = slot.read(p);
+              slot.write(p, v + 1);
+              st->assign.release(p, name);
+            }
+          });
+        }
+        detail::schedule_run r;
+        r.race.nprocs = cfg.n;
+        r.race.k = 1;  // a name is exclusive even though the CS holds k
+        for (auto& s : st->slots) r.race.data_vars.insert(&s.value);
+        r.deadlocked = detail::run_traced(std::move(scripts), prefix,
+                                          cfg.model, cfg.n, r.events);
+        runs.push_back(std::move(r));
+        ++row.schedules;
+      }
+      break;
+    }
+
+    case audit_kind::service: {
+      // Two keys through a sharded table; each shard's data word must be
+      // mutually excluded (the table is built with k = 1 shards).
+      for (const auto& prefix : detail::audit_prefixes(cfg.n)) {
+        struct state {
+          lock_table<sim_platform> table;
+          std::vector<padded<sim_platform::var<long>>> shard_data;
+          explicit state(const audit_config& cfg)
+              : table(2, cfg.name, cfg.n, cfg.k),
+                shard_data(2) {}
+        };
+        auto st = std::make_shared<state>(cfg);
+        const std::uint64_t keys[2] = {11, 42};
+        std::vector<std::function<void(sim_platform::proc&)>> scripts;
+        for (int pid = 0; pid < cfg.n; ++pid) {
+          scripts.push_back([st, &keys, iters = cfg.iterations](
+                                sim_platform::proc& p) {
+            for (int i = 0; i < iters; ++i) {
+              for (std::uint64_t key : {keys[0], keys[1]}) {
+                auto g = st->table.acquire(p, key);
+                auto shard =
+                    static_cast<std::size_t>(st->table.shard_of(key));
+                auto& word = st->shard_data[shard].value;
+                long v = word.read(p);
+                word.write(p, v + 1);
+              }
+            }
+          });
+        }
+        detail::schedule_run r;
+        r.race.nprocs = cfg.n;
+        r.race.k = cfg.k;
+        for (auto& s : st->shard_data) r.race.data_vars.insert(&s.value);
+        r.deadlocked = detail::run_traced(std::move(scripts), prefix,
+                                          cfg.model, cfg.n, r.events);
+        runs.push_back(std::move(r));
+        ++row.schedules;
+      }
+      break;
+    }
+
+    case audit_kind::registry: {
+      // The registry builds its own procs inside attach(), so it is driven
+      // sequentially from this thread (every observer lane is touched by
+      // one thread at a time) — which still traces the whole lease
+      // protocol for the lint and atomicity checkers.
+      session_registry<sim_platform> reg(cfg.n, cfg.model);
+      access_trace trace(cfg.n + 1);  // +1: the pre-lease provisional pid
+      for (int i = 0; i < cfg.iterations; ++i) {
+        std::vector<session_registry<sim_platform>::session> held;
+        for (int j = 0; j < cfg.n; ++j) {
+          held.push_back(reg.attach(
+              [&](sim_platform::proc& p) { p.set_observer(&trace); }));
+        }
+        held.clear();  // detach all, pids return for reuse
+      }
+      detail::schedule_run r;
+      r.events = trace.events();
+      r.race.nprocs = cfg.n + 1;
+      r.race.k = cfg.n;
+      r.deadlocked = false;
+      runs.push_back(std::move(r));
+      ++row.schedules;
+      break;
+    }
+  }
+
+  // Merge the checkers across schedules: any finding anywhere counts.
+  for (auto& r : runs) {
+    row.deadlocked = row.deadlocked || r.deadlocked;
+    row.events += r.events.size();
+
+    auto spin = lint_local_spin(r.events);
+    row.episodes += spin.episodes_waited;
+    if (spin.worst_wasted > row.worst_wasted)
+      row.worst_wasted = spin.worst_wasted;
+    if (!spin.clean() && row.spin.clean) {
+      row.spin.clean = false;
+      row.spin.detail = spin.findings.front().reason;
+    }
+
+    auto race = check_races(r.events, r.race);
+    if (race.max_concurrent_writers > row.max_concurrent_writers)
+      row.max_concurrent_writers = race.max_concurrent_writers;
+    if (!race.clean() && row.race.clean) {
+      row.race.clean = false;
+      row.race.detail = race.findings.front().detail;
+    }
+
+    auto atom = certify_atomicity(r.events);
+    if (!atom.clean(cfg.declared_idealized) && row.atomicity.clean) {
+      row.atomicity.clean = false;
+      std::ostringstream os;
+      os << atom.multivar_sections.size()
+         << " undeclared multi-variable atomic sections (max footprint "
+         << atom.max_footprint << ")";
+      row.atomicity.detail = os.str();
+    }
+  }
+  if (row.spin.clean) {
+    std::ostringstream os;
+    os << row.episodes << " wait episodes, worst wasted " << row.worst_wasted;
+    row.spin.detail = os.str();
+  }
+  if (row.race.clean) {
+    std::ostringstream os;
+    os << "max " << row.max_concurrent_writers << " concurrent writers (k="
+       << (cfg.kind == audit_kind::kexclusion ? cfg.k : 1) << ")";
+    row.race.detail = os.str();
+  }
+  if (row.atomicity.clean) {
+    row.atomicity.detail = cfg.declared_idealized
+                               ? "multi-variable sections declared idealized"
+                               : "single-variable primitives only";
+  }
+  return row;
+}
+
+// The full catalog, with the verdicts the paper predicts.  Shapes are
+// chosen so the stepped schedules separate the two classes decisively:
+// k = 1 or n >> k rows make remote spinners accrue waste far past the lint
+// tolerance, while the paper's algorithms stay at zero by construction.
+inline std::vector<audit_config> default_audit_matrix() {
+  std::vector<audit_config> m;
+  auto kex_row = [&](std::string name, cost_model model, int n, int k,
+                     bool local, bool idealized = false) {
+    audit_config c;
+    c.name = std::move(name);
+    c.kind = audit_kind::kexclusion;
+    c.model = model;
+    c.n = n;
+    c.k = k;
+    c.expect_local_spin = local;
+    c.declared_idealized = idealized;
+    m.push_back(std::move(c));
+  };
+
+  // The paper's algorithms: local-spin on the machine each theorem claims.
+  kex_row("cc_inductive", cost_model::cc, 6, 2, true);   // Theorem 1
+  kex_row("cc_tree", cost_model::cc, 6, 2, true);        // Theorem 2
+  kex_row("cc_fast", cost_model::cc, 6, 2, true);        // Theorem 3
+  kex_row("cc_graceful", cost_model::cc, 6, 2, true);    // Theorem 4
+  kex_row("dsm_bounded", cost_model::dsm, 6, 2, true);   // Theorem 5
+  kex_row("dsm_unbounded", cost_model::dsm, 6, 2, true); // Section 3.2
+  kex_row("dsm_tree", cost_model::dsm, 6, 2, true);      // Theorem 6
+  kex_row("dsm_fast", cost_model::dsm, 6, 2, true);      // Theorem 7
+  kex_row("dsm_graceful", cost_model::dsm, 6, 2, true);  // Theorem 8
+
+  // Locally-spinning k=1 locks (both machines: they set spin-var owners).
+  kex_row("mcs", cost_model::cc, 4, 1, true);
+  kex_row("mcs", cost_model::dsm, 4, 1, true);
+  kex_row("ya", cost_model::cc, 4, 1, true);
+
+  // Table-1 baselines: remote spinners the linter must catch.  k = 1
+  // shapes: with k > 1 on these tiny configurations the waits are too
+  // short for the waste to separate from the tolerance.
+  kex_row("ticket", cost_model::cc, 8, 1, false);
+  kex_row("bakery", cost_model::cc, 5, 1, false);
+  kex_row("scan", cost_model::cc, 4, 1, false);
+  // Figure 1 itself: remote-spinning AND built from <...> sections — the
+  // declared-idealized flag keeps atomicity from failing the row; the
+  // *spin* verdict still must flag it.  Its big_atomic_ mutex cannot run
+  // under the step gate (audit_config::stepped).
+  {
+    audit_config c;
+    c.name = "atomic_queue";
+    c.kind = audit_kind::kexclusion;
+    c.model = cost_model::cc;
+    // k = 1 and a deeper queue: a waiter must watch several foreign
+    // dequeues invalidate the head before its own turn — that churn is
+    // the waste the linter measures, and shallow queues barely generate
+    // it on a single-core host.
+    c.n = 6;
+    c.k = 1;
+    c.expect_local_spin = false;
+    c.declared_idealized = true;
+    c.stepped = false;
+    m.push_back(std::move(c));
+  }
+
+  // Renaming (Section 4): bounded loops, no unbounded busy-wait.
+  for (const char* name :
+       {"tas_renaming", "bitmask_renaming", "splitter_renaming"}) {
+    audit_config c;
+    c.name = name;
+    c.kind = audit_kind::renaming;
+    c.model = cost_model::cc;
+    c.n = 3;
+    c.k = 3;
+    m.push_back(std::move(c));
+  }
+
+  // (N,k)-assignment (Theorem 9 composition).
+  {
+    audit_config c;
+    c.name = "cc_assignment";
+    c.kind = audit_kind::assignment;
+    c.model = cost_model::cc;
+    c.n = 5;
+    c.k = 2;
+    m.push_back(std::move(c));
+  }
+
+  // Service layer: the sharded lock table over a catalog algorithm, and
+  // the session registry's lease protocol.
+  {
+    audit_config c;
+    c.name = "cc_inductive";
+    c.kind = audit_kind::service;
+    c.model = cost_model::cc;
+    c.n = 4;
+    c.k = 1;
+    m.push_back(std::move(c));
+  }
+  {
+    audit_config c;
+    c.name = "session_registry";
+    c.kind = audit_kind::registry;
+    c.model = cost_model::cc;
+    c.n = 4;
+    c.k = 4;
+    c.iterations = 2;
+    m.push_back(std::move(c));
+  }
+  return m;
+}
+
+// Convenience: audit every row, in order.
+inline std::vector<audit_row> run_audit_matrix(
+    const std::vector<audit_config>& matrix) {
+  std::vector<audit_row> rows;
+  rows.reserve(matrix.size());
+  for (const auto& cfg : matrix) rows.push_back(run_audit(cfg));
+  return rows;
+}
+
+}  // namespace kex::analysis

@@ -1,0 +1,200 @@
+// Happens-before race checker: verifies that client data protected by an
+// (N,k)-exclusion object is actually synchronized by it.
+//
+// Ordering is *derived from the trace*, not assumed: every sim variable is
+// a seq_cst atomic, so its accesses form a per-variable total order (the
+// version numbers the trace records).  Synchronization variables — the
+// lock's own words — contribute happens-before edges:
+//
+//   * a read that observed version v of variable X happens-after the write
+//     that produced v;
+//   * a write/RMW on X happens-after every earlier write on X (the
+//     modification order; RMW edges are exact, which is how the k-exclusion
+//     handoff chains — fetch&add on the slot counter, CAS on the queue of
+//     Figure 6 — transport ordering from releaser to acquirer).
+//
+// Declared *data* variables contribute no edges (that would beg the
+// question: two CS writes to the same word would order themselves).  The
+// checker replays the stream through vector clocks and asserts, per data
+// variable:
+//
+//   * the set of pairwise-concurrent writers never exceeds k — the paper's
+//     "at most k processes inside their critical sections";
+//   * at k = 1, additionally no write-write or read-write pair is
+//     concurrent at all: mutual exclusion makes the object race-free.
+//
+// Feed this checker stepped traces (platform/stepper.h): under the step
+// gate accesses are serialized, so version/value pairing — and therefore
+// every derived edge — is exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.h"
+#include "common/check.h"
+
+namespace kex::analysis {
+
+class vector_clock {
+ public:
+  vector_clock() = default;
+  explicit vector_clock(int nprocs)
+      : t_(static_cast<std::size_t>(nprocs), 0) {}
+
+  void tick(int pid) { ++t_[static_cast<std::size_t>(pid)]; }
+
+  void join(const vector_clock& other) {
+    for (std::size_t i = 0; i < t_.size(); ++i)
+      if (other.t_[i] > t_[i]) t_[i] = other.t_[i];
+  }
+
+  // this ≤ other: every component ordered — "happened before or equal".
+  bool leq(const vector_clock& other) const {
+    for (std::size_t i = 0; i < t_.size(); ++i)
+      if (t_[i] > other.t_[i]) return false;
+    return true;
+  }
+
+  bool concurrent_with(const vector_clock& other) const {
+    return !leq(other) && !other.leq(*this);
+  }
+
+ private:
+  std::vector<std::uint64_t> t_;
+};
+
+struct race_finding {
+  const void* var = nullptr;
+  int pid_a = 0, pid_b = 0;
+  std::uint64_t seq_a = 0, seq_b = 0;  // trace stamps of the two accesses
+  std::string kind;  // "write-write", "read-write", "overlap>k"
+  std::string detail;
+};
+
+struct race_report {
+  int max_concurrent_writers = 0;  // largest concurrent-writer set seen
+  std::uint64_t data_writes = 0;
+  std::uint64_t data_reads = 0;
+  std::vector<race_finding> findings;
+
+  bool clean() const { return findings.empty(); }
+};
+
+struct race_options {
+  int nprocs = 0;                      // pid space of the trace
+  int k = 1;                           // claimed CS capacity
+  std::set<const void*> data_vars;     // client data (no edges derived)
+  bool check_read_write = true;        // only applied when k == 1
+};
+
+inline race_report check_races(const std::vector<traced_access>& events,
+                               const race_options& options) {
+  KEX_CHECK_MSG(options.nprocs >= 1, "check_races: nprocs required");
+  race_report report;
+
+  std::vector<vector_clock> clock(
+      static_cast<std::size_t>(options.nprocs),
+      vector_clock(options.nprocs));
+  // Per sync variable: join of all write clocks so far (the modification-
+  // order frontier readers and later writers acquire).
+  std::map<const void*, vector_clock> var_frontier;
+  // Per data variable and pid: clock + stamp of the latest access.  Program
+  // order makes the latest access the only one a new access can still be
+  // concurrent with.
+  struct last_access {
+    vector_clock at;
+    std::uint64_t seq = 0;
+    bool valid = false;
+  };
+  std::map<const void*, std::vector<last_access>> last_write, last_read;
+
+  auto lasts = [&](auto& table, const void* v) -> std::vector<last_access>& {
+    auto [it, inserted] = table.try_emplace(
+        v, static_cast<std::size_t>(options.nprocs));
+    return it->second;
+  };
+
+  for (const auto& e : events) {
+    auto pid = static_cast<std::size_t>(e.pid);
+    KEX_CHECK_MSG(e.pid >= 0 && e.pid < options.nprocs,
+                  "check_races: pid outside declared space");
+    clock[pid].tick(e.pid);
+
+    if (options.data_vars.count(e.var) == 0) {
+      // Synchronization variable: derive edges, nothing to check.
+      auto [it, inserted] =
+          var_frontier.try_emplace(e.var, vector_clock(options.nprocs));
+      vector_clock& frontier = it->second;
+      clock[pid].join(frontier);  // acquire: reads and writes alike
+      if (is_write_op(e.op)) frontier = clock[pid];  // release
+      continue;
+    }
+
+    // Data variable: check, but derive no edges.
+    auto& writes = lasts(last_write, e.var);
+    if (is_write_op(e.op)) {
+      ++report.data_writes;
+      int concurrent = 0;
+      const last_access* worst = nullptr;
+      for (int q = 0; q < options.nprocs; ++q) {
+        if (q == e.pid) continue;
+        const auto& lw = writes[static_cast<std::size_t>(q)];
+        if (lw.valid && !lw.at.leq(clock[pid])) {
+          ++concurrent;
+          worst = &lw;
+        }
+      }
+      if (concurrent + 1 > report.max_concurrent_writers)
+        report.max_concurrent_writers = concurrent + 1;
+      if (concurrent + 1 > options.k) {
+        std::ostringstream why;
+        why << (concurrent + 1) << " concurrent writers on one variable, "
+            << "but the protecting object claims k=" << options.k;
+        report.findings.push_back(
+            {e.var, e.pid, -1, worst != nullptr ? worst->seq : 0, e.seq,
+             options.k == 1 ? "write-write" : "overlap>k", why.str()});
+      }
+      if (options.k == 1 && options.check_read_write) {
+        auto& reads = lasts(last_read, e.var);
+        for (int q = 0; q < options.nprocs; ++q) {
+          if (q == e.pid) continue;
+          const auto& lr = reads[static_cast<std::size_t>(q)];
+          if (lr.valid && !lr.at.leq(clock[pid])) {
+            report.findings.push_back(
+                {e.var, e.pid, q, lr.seq, e.seq, "read-write",
+                 "write concurrent with another process's read under k=1"});
+          }
+        }
+      }
+      auto& mine = writes[pid];
+      mine.at = clock[pid];
+      mine.seq = e.seq;
+      mine.valid = true;
+    } else {
+      ++report.data_reads;
+      if (options.k == 1 && options.check_read_write) {
+        for (int q = 0; q < options.nprocs; ++q) {
+          if (q == e.pid) continue;
+          const auto& lw = writes[static_cast<std::size_t>(q)];
+          if (lw.valid && !lw.at.leq(clock[pid])) {
+            report.findings.push_back(
+                {e.var, e.pid, q, lw.seq, e.seq, "read-write",
+                 "read concurrent with another process's write under k=1"});
+          }
+        }
+      }
+      auto& mine = lasts(last_read, e.var)[pid];
+      mine.at = clock[pid];
+      mine.seq = e.seq;
+      mine.valid = true;
+    }
+  }
+  return report;
+}
+
+}  // namespace kex::analysis

@@ -1,0 +1,141 @@
+// Local-spin linter: certifies the paper's busy-waiting discipline over a
+// recorded access trace.
+//
+// Every RMR bound in the paper rests on waiting being *local*: "a process
+// busy-waits only on locally-accessible variables" (Section 2).  On a
+// cache-coherent machine a variable becomes locally accessible once a copy
+// migrates into the waiter's cache and stays local until it is written; on
+// a DSM machine only variables stored at the waiter's own processor are
+// local.  Either way, the observable signature of a *violation* is the
+// same: the waiter keeps generating remote references across wait
+// iterations that do not end the wait — paying the interconnect merely to
+// keep waiting, which is exactly how the Table-1 baselines go unbounded
+// under contention.
+//
+// Rule.  For each wait episode (one var::await / await_while / P::poll
+// activation, as tagged by the sim platform) that actually waited
+// (iterations >= min_iterations):
+//
+//   * iteration 1 is free — evaluating the condition the first time is
+//     entry-section work, charged to the algorithm's RMR bound, not to
+//     the wait;
+//   * the final iteration is free — a remote reference that observes the
+//     enabling write is the handoff itself (the CC cache-migration cost
+//     of waking up);
+//   * every remote reference in the iterations BETWEEN those is "wasted":
+//     the waiter touched the interconnect and then kept waiting.  A
+//     locally-spinning algorithm accrues none (CC: the spin variable is
+//     cached and unwritten between handoffs; DSM: the spin variable is
+//     owner-local, remote cost zero by definition).  An episode whose
+//     wasted count exceeds `nonfinal_remote_tolerance` is flagged.
+//
+// The tolerance absorbs benign one-off invalidations (e.g. a second
+// writer re-publishing the same handoff); remote-spinning algorithms blow
+// far past it on any contended schedule because their waste grows with
+// every event that happens while they wait.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/trace.h"
+
+namespace kex::analysis {
+
+// Aggregate of one wait episode, keyed by (pid, episode id).
+struct wait_episode {
+  int pid = 0;
+  std::uint32_t episode = 0;
+  const void* target = nullptr;  // awaited variable; nullptr for poll
+  std::uint32_t iterations = 0;  // predicate evaluations observed
+  std::uint64_t accesses = 0;
+  std::uint64_t remote_total = 0;
+  std::uint64_t remote_first = 0;     // iteration 1 (condition setup)
+  std::uint64_t remote_final = 0;     // last iteration (the handoff)
+  std::uint64_t remote_wasted = 0;    // iterations in between — the lint key
+  std::uint64_t off_target_wasted = 0;  // wasted refs not on the awaited var
+
+  bool is_poll() const { return target == nullptr; }
+};
+
+// Two-pass aggregation: episode extents first (the final iteration is only
+// known once the episode is complete), then per-iteration classification.
+inline std::vector<wait_episode> collect_wait_episodes(
+    const std::vector<traced_access>& events) {
+  std::map<std::pair<int, std::uint32_t>, wait_episode> episodes;
+  for (const auto& e : events) {
+    if (e.wait_episode == 0) continue;
+    auto& ep = episodes[{e.pid, e.wait_episode}];
+    ep.pid = e.pid;
+    ep.episode = e.wait_episode;
+    ep.target = e.wait_target;
+    if (e.wait_iter > ep.iterations) ep.iterations = e.wait_iter;
+  }
+  for (const auto& e : events) {
+    if (e.wait_episode == 0) continue;
+    auto& ep = episodes[{e.pid, e.wait_episode}];
+    ++ep.accesses;
+    if (!e.remote) continue;
+    ++ep.remote_total;
+    if (e.wait_iter <= 1) {
+      ++ep.remote_first;
+    } else if (e.wait_iter >= ep.iterations) {
+      ++ep.remote_final;
+    } else {
+      ++ep.remote_wasted;
+      if (e.var != ep.target) ++ep.off_target_wasted;
+    }
+  }
+  std::vector<wait_episode> out;
+  out.reserve(episodes.size());
+  for (auto& [key, ep] : episodes) out.push_back(ep);
+  return out;
+}
+
+struct spin_lint_options {
+  std::uint32_t min_iterations = 2;         // episodes that never waited
+  std::uint64_t nonfinal_remote_tolerance = 2;
+};
+
+struct spin_finding {
+  wait_episode episode;
+  std::string reason;
+};
+
+struct spin_lint_report {
+  std::uint64_t episodes_seen = 0;     // all episodes in the trace
+  std::uint64_t episodes_waited = 0;   // episodes that iterated
+  std::uint64_t worst_wasted = 0;      // max wasted refs in one episode
+  std::vector<spin_finding> findings;
+
+  bool clean() const { return findings.empty(); }
+};
+
+inline spin_lint_report lint_local_spin(
+    const std::vector<traced_access>& events,
+    const spin_lint_options& options = {}) {
+  spin_lint_report report;
+  for (const auto& ep : collect_wait_episodes(events)) {
+    ++report.episodes_seen;
+    if (ep.iterations < options.min_iterations) continue;
+    ++report.episodes_waited;
+    if (ep.remote_wasted > report.worst_wasted)
+      report.worst_wasted = ep.remote_wasted;
+    if (ep.remote_wasted > options.nonfinal_remote_tolerance) {
+      std::ostringstream why;
+      why << "pid " << ep.pid << " episode " << ep.episode << " ("
+          << (ep.is_poll() ? "poll" : "await") << ", " << ep.iterations
+          << " iterations) issued " << ep.remote_wasted
+          << " remote references that did not end the wait ("
+          << ep.off_target_wasted << " off the awaited variable)";
+      report.findings.push_back({ep, why.str()});
+    }
+  }
+  return report;
+}
+
+}  // namespace kex::analysis

@@ -1,0 +1,123 @@
+// Access-trace recording — the substrate of the protocol auditor.
+//
+// The simulated platform already sees every shared access (sim.h reports
+// them through sim_access_observer); `access_trace` collects those reports
+// into per-process lanes stamped with a global sequence number, yielding a
+// single ordered stream the three checkers consume:
+//
+//   * spin_lint.h      — local-spin discipline over wait episodes
+//   * race_check.h     — vector-clock happens-before over version edges
+//   * atomicity.h      — footprint of declared atomic sections
+//
+// Each process appends to its own cache-line-separated lane (no lock on
+// the access path); the global stamp is one relaxed fetch_add.  Under the
+// stepper every access is serialized, so the stamp order *is* the
+// execution order and version/value pairing is exact — the auditor drives
+// its certification runs through the stepper for precisely this reason.
+// In free-running runs the stamp is taken adjacent to (not atomically
+// with) the underlying operation, so the stream is a faithful sample
+// rather than a provable linearization; the linter tolerates that, the
+// race checker should be fed stepped traces.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/sim.h"
+#include "runtime/process_group.h"
+
+namespace kex::analysis {
+
+struct traced_access : sim_access {
+  std::uint64_t seq = 0;  // global order stamp
+};
+
+class access_trace final : public sim_access_observer {
+ public:
+  // `per_lane_cap` bounds how many events each pid records (0 = no
+  // bound).  Free-running audits of remote-spinning algorithms need it:
+  // their access counts grow with contention — the very property being
+  // measured — and an unbounded trace of one can swallow gigabytes.  A
+  // capped trace is a prefix sample; `dropped()` says how faithful.
+  explicit access_trace(int max_pids, std::uint64_t per_lane_cap = 0)
+      : cap_(per_lane_cap) {
+    KEX_CHECK_MSG(max_pids >= 1, "access_trace requires max_pids >= 1");
+    lanes_ = std::vector<padded<lane>>(static_cast<std::size_t>(max_pids));
+  }
+
+  // Called from the accessing process's own thread (sim.h contract); each
+  // pid writes only its own lane, so the append path is lock-free.
+  void on_access(const sim_access& access) override {
+    auto pid = static_cast<std::size_t>(access.pid);
+    KEX_CHECK_MSG(pid < lanes_.size(), "access_trace: pid out of range");
+    auto& l = lanes_[pid].value;
+    if (cap_ != 0 && l.events.size() >= cap_) {
+      ++l.dropped;
+      return;
+    }
+    traced_access t;
+    static_cast<sim_access&>(t) = access;
+    t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    l.events.push_back(t);
+  }
+
+  void attach(process_set<sim_platform>& procs) {
+    KEX_CHECK_MSG(procs.size() <= static_cast<int>(lanes_.size()),
+                  "access_trace: more procs than lanes");
+    for (int pid = 0; pid < procs.size(); ++pid)
+      procs[pid].set_observer(this);
+  }
+
+  // The merged stream in stamp order.  Call after the traced run has
+  // quiesced (workers joined).
+  std::vector<traced_access> events() const {
+    std::vector<traced_access> all;
+    std::size_t total = 0;
+    for (const auto& l : lanes_) total += l.value.events.size();
+    all.reserve(total);
+    for (const auto& l : lanes_)
+      all.insert(all.end(), l.value.events.begin(), l.value.events.end());
+    std::sort(all.begin(), all.end(),
+              [](const traced_access& a, const traced_access& b) {
+                return a.seq < b.seq;
+              });
+    return all;
+  }
+
+  std::uint64_t size() const {
+    std::uint64_t total = 0;
+    for (const auto& l : lanes_) total += l.value.events.size();
+    return total;
+  }
+
+  // Events discarded to the per-lane cap (0 when uncapped).
+  std::uint64_t dropped() const {
+    std::uint64_t total = 0;
+    for (const auto& l : lanes_) total += l.value.dropped;
+    return total;
+  }
+
+  void clear() {
+    for (auto& l : lanes_) {
+      l.value.events.clear();
+      l.value.dropped = 0;
+    }
+    seq_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct lane {
+    std::vector<traced_access> events;
+    std::uint64_t dropped = 0;
+  };
+
+  std::uint64_t cap_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::vector<padded<lane>> lanes_;
+};
+
+}  // namespace kex::analysis

@@ -46,8 +46,12 @@ class atomic_queue_kex {
 
   void acquire(proc& p) {
     {
-      // ⟨ statement 1 ⟩ — the simulated large atomic section.
+      // ⟨ statement 1 ⟩ — the simulated large atomic section, declared to
+      // the atomicity certifier (src/analysis/atomicity.h): this algorithm
+      // is the catalog's idealized Figure-1 entry, so its multi-variable
+      // sections are expected; anywhere else they are a violation.
       std::scoped_lock lk(big_atomic_);
+      atomic_section_scope<proc> section(p);
       if (x_.value.fetch_add(p, -1) <= 0) enqueue(p);
     }
     // Statement 2: non-local busy-wait.  Membership is a scan over the
@@ -59,6 +63,7 @@ class atomic_queue_kex {
   void release(proc& p) {
     // ⟨ statement 3 ⟩
     std::scoped_lock lk(big_atomic_);
+    atomic_section_scope<proc> section(p);
     dequeue(p);
     x_.value.fetch_add(p, 1);
   }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
 
 #include "platform/proc.h"
 #include "platform/real.h"
@@ -29,16 +30,31 @@ struct state_pred {
 };
 }  // namespace detail
 
+// Per-process execution context conformance: everything the harness layers
+// (process groups, workloads, the stepper) assume of P::proc, checked once
+// here instead of erroring deep inside a template instantiation.
+template <class Pr>
+concept ProcContext = requires(Pr& p) {
+  { p.id } -> std::convertible_to<int>;
+  p.spin();
+  { Pr::can_fail } -> std::convertible_to<bool>;
+  // process_set constructs procs as (pid, cost_model) for both platforms.
+  requires std::constructible_from<Pr, int, cost_model>;
+  requires std::constructible_from<Pr, int>;
+};
+
 template <class P>
 concept Platform = requires(typename P::proc& p,
                             typename P::template var<int>& v) {
-  { p.id } -> std::convertible_to<int>;
-  p.spin();
+  requires ProcContext<typename P::proc>;
   { v.read(p) } -> std::convertible_to<int>;
   v.write(p, 1);
+  v.set_owner(0);  // DSM locality declaration (no-op on real hardware)
   { v.fetch_add(p, 1) } -> std::convertible_to<int>;
   { v.fetch_dec_floor0(p) } -> std::convertible_to<int>;
   { v.compare_exchange(p, 0, 1) } -> std::convertible_to<bool>;
+  { v.exchange(p, 1) } -> std::convertible_to<int>;
+  { v.peek() } -> std::convertible_to<int>;
   // The waiting subsystem (platform/wait.h): single-variable awaits with
   // write-side wakeups, and the multi-variable poll fallback.
   { v.await(p, detail::value_pred{}) } -> std::convertible_to<int>;
@@ -50,7 +66,37 @@ concept Platform = requires(typename P::proc& p,
   { P::counts_rmr } -> std::convertible_to<bool>;
 };
 
+static_assert(ProcContext<real_platform::proc>);
+static_assert(ProcContext<sim_platform::proc>);
 static_assert(Platform<real_platform>);
 static_assert(Platform<sim_platform>);
+
+// The shared-variable payloads the platforms admit (and reject) are a
+// compile-time contract: see shared_word in platform/proc.h and the
+// negative cases in tests/static_hardening_test.cpp.
+static_assert(shared_word<int> && shared_word<long> &&
+              shared_word<std::uint64_t> && shared_word<bool>);
+
+// Bracket for a simulated multi-variable atomic section (Figure 1's ⟨…⟩).
+// On platforms whose proc exposes begin_atomic/end_atomic (the simulated
+// one), the bracketed accesses are tagged with a section id the atomicity
+// certifier audits; on the real platform it compiles away — the caller
+// still needs its own mutual exclusion (the brackets only *declare* the
+// section, they do not implement it).
+template <class Proc>
+class atomic_section_scope {
+ public:
+  explicit atomic_section_scope(Proc& p) : p_(p) {
+    if constexpr (requires { p_.begin_atomic(); }) p_.begin_atomic();
+  }
+  atomic_section_scope(const atomic_section_scope&) = delete;
+  atomic_section_scope& operator=(const atomic_section_scope&) = delete;
+  ~atomic_section_scope() {
+    if constexpr (requires { p_.end_atomic(); }) p_.end_atomic();
+  }
+
+ private:
+  Proc& p_;
+};
 
 }  // namespace kex

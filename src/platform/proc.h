@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 
 namespace kex {
 
@@ -40,6 +41,15 @@ enum class cost_model : std::uint8_t {
   dsm,   // distributed shared memory: local iff accessor owns the variable
 };
 
+constexpr const char* to_string(cost_model m) {
+  switch (m) {
+    case cost_model::none: return "none";
+    case cost_model::cc: return "cc";
+    case cost_model::dsm: return "dsm";
+  }
+  return "?";
+}
+
 // Per-process reference counters, written only by the owning process's
 // thread and read after it quiesces.
 struct rmr_counters {
@@ -48,6 +58,82 @@ struct rmr_counters {
   std::uint64_t statements = 0;  // total shared accesses (remote + local)
 
   void reset() { *this = rmr_counters{}; }
+};
+
+// Compile-time admission test for shared-variable payloads.  The paper's
+// variables are machine words (small integers, booleans, packed
+// pid/location pairs); a payload that is not trivially copyable, or whose
+// std::atomic specialization needs an internal lock, cannot be a single
+// realizable primitive — storing one in a platform var would silently
+// smuggle a multi-word atomic section into an algorithm.  Both platforms
+// constrain var<T> on this concept, so the violation is a compile error
+// (tests/static_hardening_test.cpp asserts the rejections).
+template <class T>
+concept shared_word =
+    std::is_trivially_copyable_v<T> && std::is_copy_constructible_v<T> &&
+    requires { requires std::atomic<T>::is_always_lock_free; };
+
+// --- access observation (the protocol auditor's tap; see src/analysis/) ---
+
+// Which single-variable primitive a simulated access executed.  Every
+// access the sim platform performs is exactly one of these — the paper's
+// realizable primitives (read, write, fetch&add, compare&swap, exchange,
+// and footnote 2's range-checked decrement).
+enum class sim_op : std::uint8_t {
+  read,
+  write,
+  faa,        // fetch_add
+  cas_ok,     // compare_exchange, succeeded
+  cas_fail,   // compare_exchange, failed (still one charged primitive)
+  exchange,
+  fdec,       // fetch_dec_floor0
+};
+
+constexpr bool is_write_op(sim_op op) {
+  return op == sim_op::write || op == sim_op::faa || op == sim_op::cas_ok ||
+         op == sim_op::exchange || op == sim_op::fdec;
+}
+
+constexpr const char* to_string(sim_op op) {
+  switch (op) {
+    case sim_op::read: return "read";
+    case sim_op::write: return "write";
+    case sim_op::faa: return "faa";
+    case sim_op::cas_ok: return "cas_ok";
+    case sim_op::cas_fail: return "cas_fail";
+    case sim_op::exchange: return "exchange";
+    case sim_op::fdec: return "fdec";
+  }
+  return "?";
+}
+
+// One shared access as the simulated platform saw it.  `version` is the
+// variable's modification count: the version a read observed, or the
+// version a write produced — per-variable ordering that the race checker
+// uses to derive happens-before edges.  The wait_* fields tag accesses
+// issued from inside a busy-wait (var::await / var::await_while /
+// P::poll): episode is a per-process wait id, iter the predicate
+// evaluation the access belongs to, target the awaited variable (null for
+// multi-variable polls).  `section` is the enclosing declared atomic
+// section, 0 outside one.
+struct sim_access {
+  const void* var = nullptr;
+  const void* wait_target = nullptr;
+  std::uint64_t version = 0;
+  std::uint64_t section = 0;
+  std::uint32_t wait_episode = 0;  // 0 = not inside a wait
+  std::uint32_t wait_iter = 0;
+  int pid = 0;
+  int var_owner = -1;  // DSM owner declared on the variable (-1 = none)
+  sim_op op = sim_op::read;
+  bool remote = false;
+};
+
+// Installed on a sim proc with set_observer(); receives every shared
+// access the process performs, from that process's own thread.
+struct sim_access_observer {
+  virtual ~sim_access_observer() = default;
+  virtual void on_access(const sim_access& access) = 0;
 };
 
 }  // namespace kex

@@ -54,12 +54,14 @@ struct real_platform {
     } while (!pred());
   }
 
-  // A shared variable.  T must be lock-free-atomic-capable (the paper's
-  // variables are small integers, booleans and packed id/location pairs).
-  template <class T>
+  // A shared variable.  T must be a realizable machine word — trivially
+  // copyable and lock-free-atomic-capable (the paper's variables are small
+  // integers, booleans and packed id/location pairs); see shared_word in
+  // platform/proc.h.  A payload whose std::atomic needs an internal lock
+  // would not be a single-variable primitive, so it is rejected at compile
+  // time.
+  template <shared_word T>
   class var {
-    static_assert(std::is_trivially_copyable_v<T>);
-
    public:
     var() : v_{} {}
     explicit var(T init) : v_(init) {}

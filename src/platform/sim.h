@@ -40,7 +40,7 @@
 namespace kex {
 
 struct sim_platform {
-  template <class T>
+  template <shared_word T>
   class var;
 
   class proc {
@@ -100,6 +100,61 @@ struct sim_platform {
     }
     void clear_chaos() { chaos_permille_ = 0; }
 
+    // --- access observation ------------------------------------------------
+    // The protocol auditor's tap (src/analysis/): when an observer is
+    // installed, every shared access this process performs is reported to
+    // it, tagged with wait-episode and atomic-section context.  Called
+    // from this process's own thread only.
+    void set_observer(sim_access_observer* obs) { observer_ = obs; }
+    sim_access_observer* observer() const { return observer_; }
+
+    // One busy-wait episode: opened by var::await / var::await_while /
+    // sim_platform::poll around their read loops, so every access issued
+    // while waiting carries the episode id, the predicate-evaluation
+    // index, and the awaited variable (nullptr for multi-variable polls).
+    // Episodes nest (a poll predicate may await a sub-variable); the inner
+    // episode shadows the outer one, which is restored on scope exit.
+    class wait_scope {
+     public:
+      wait_scope(proc& p, const void* target)
+          : p_(p),
+            prev_episode_(p.wait_episode_),
+            prev_iter_(p.wait_iter_),
+            prev_target_(p.wait_target_) {
+        p_.wait_episode_ = ++p_.episode_seq_;
+        p_.wait_iter_ = 1;
+        p_.wait_target_ = target;
+      }
+      wait_scope(const wait_scope&) = delete;
+      wait_scope& operator=(const wait_scope&) = delete;
+      ~wait_scope() {
+        p_.wait_episode_ = prev_episode_;
+        p_.wait_iter_ = prev_iter_;
+        p_.wait_target_ = prev_target_;
+      }
+
+      void next_iteration() { ++p_.wait_iter_; }
+
+     private:
+      proc& p_;
+      std::uint32_t prev_episode_;
+      std::uint32_t prev_iter_;
+      const void* prev_target_;
+    };
+
+    // --- declared atomic sections ------------------------------------------
+    // Figure-1-style ⟨…⟩ multi-statement atomicity is not a realizable
+    // primitive; algorithms that simulate one (baselines/atomic_queue_kex)
+    // bracket it so the atomicity certifier can record its footprint and
+    // reject undeclared multi-variable sections.  Sections may nest; the
+    // outermost bracket defines the section id.
+    void begin_atomic() {
+      if (section_depth_++ == 0) section_ = ++section_seq_;
+    }
+    void end_atomic() {
+      if (section_depth_ > 0 && --section_depth_ == 0) section_ = 0;
+    }
+
     // --- accounting --------------------------------------------------------
     cost_model model() const { return model_; }
     void set_model(cost_model m) { model_ = m; }
@@ -112,7 +167,7 @@ struct sim_platform {
     void flush_cache() { cache_.clear(); }
 
    private:
-    template <class T>
+    template <shared_word T>
     friend class var;
 
     void on_access() {
@@ -158,15 +213,22 @@ struct sim_platform {
     std::uint64_t fail_at_ = 0;  // statement index to crash at; 0 = off
     std::uint32_t chaos_state_ = 0;
     std::uint32_t chaos_permille_ = 0;  // yield probability; 0 = off
+    sim_access_observer* observer_ = nullptr;
+    std::uint32_t episode_seq_ = 0;   // wait episodes opened by this proc
+    std::uint32_t wait_episode_ = 0;  // current episode; 0 = not waiting
+    std::uint32_t wait_iter_ = 0;
+    const void* wait_target_ = nullptr;
+    std::uint64_t section_seq_ = 0;  // atomic sections opened by this proc
+    std::uint64_t section_ = 0;      // current section; 0 = none
+    int section_depth_ = 0;
     rmr_counters counters_{};
     std::unordered_map<const void*, std::uint64_t> cache_;
   };
 
-  // An instrumented shared variable.
-  template <class T>
+  // An instrumented shared variable.  The payload must be a realizable
+  // machine word (see shared_word in platform/proc.h).
+  template <shared_word T>
   class var {
-    static_assert(std::is_trivially_copyable_v<T>);
-
    public:
     var() : v_{} {}
     explicit var(T init) : v_(init) {}
@@ -178,8 +240,11 @@ struct sim_platform {
 
     T read(proc& p) const {
       p.on_access();
-      p.charge(read_is_remote(p));
-      return v_.load(std::memory_order_seq_cst);
+      const bool remote = read_is_remote(p);
+      p.charge(remote);
+      T v = v_.load(std::memory_order_seq_cst);
+      note(p, sim_op::read, remote, version_.load(std::memory_order_relaxed));
+      return v;
     }
 
     // --- the waiting subsystem (see platform/wait.h) ----------------------
@@ -193,18 +258,22 @@ struct sim_platform {
     // spin theorems the tests assert (tests/rmr_bounds_test.cpp).
     template <class Pred>
     T await(proc& p, Pred pred, wait_opts = {}) {
+      typename proc::wait_scope wait(p, this);
       T v = read(p);
       while (!pred(v)) {
         p.spin();
+        wait.next_iteration();
         v = read(p);
       }
       return v;
     }
 
     T await_while(proc& p, T old, wait_opts = {}) {
+      typename proc::wait_scope wait(p, this);
       T v = read(p);
       while (v == old) {
         p.spin();
+        wait.next_iteration();
         v = read(p);
       }
       return v;
@@ -222,16 +291,18 @@ struct sim_platform {
 
     void write(proc& p, T x) {
       p.on_access();
-      p.charge(write_is_remote(p));
+      const bool remote = write_is_remote(p);
+      p.charge(remote);
       v_.store(x, std::memory_order_seq_cst);
-      bump(p);
+      note(p, sim_op::write, remote, bump(p));
     }
 
     T fetch_add(proc& p, T d) {
       p.on_access();
-      p.charge(write_is_remote(p));
+      const bool remote = write_is_remote(p);
+      p.charge(remote);
       T old = v_.fetch_add(d, std::memory_order_seq_cst);
-      bump(p);
+      note(p, sim_op::faa, remote, bump(p));
       return old;
     }
 
@@ -239,18 +310,21 @@ struct sim_platform {
       p.on_access();
       // A CAS — successful or not — goes to the interconnect; the paper's
       // counting charges each primitive invocation once.
-      p.charge(write_is_remote(p));
+      const bool remote = write_is_remote(p);
+      p.charge(remote);
       bool ok = v_.compare_exchange_strong(expected, desired,
                                            std::memory_order_seq_cst);
-      if (ok) bump(p);
+      note(p, ok ? sim_op::cas_ok : sim_op::cas_fail, remote,
+           ok ? bump(p) : version_.load(std::memory_order_relaxed));
       return ok;
     }
 
     T exchange(proc& p, T x) {
       p.on_access();
-      p.charge(write_is_remote(p));
+      const bool remote = write_is_remote(p);
+      p.charge(remote);
       T old = v_.exchange(x, std::memory_order_seq_cst);
-      bump(p);
+      note(p, sim_op::exchange, remote, bump(p));
       return old;
     }
 
@@ -259,13 +333,14 @@ struct sim_platform {
     // assumption under which Theorems 3/4/7/8 state their "+2" terms.
     T fetch_dec_floor0(proc& p) {
       p.on_access();
-      p.charge(write_is_remote(p));
+      const bool remote = write_is_remote(p);
+      p.charge(remote);
       T old = v_.load(std::memory_order_seq_cst);
       while (old > T{0} &&
              !v_.compare_exchange_weak(old, old - T{1},
                                        std::memory_order_seq_cst)) {
       }
-      bump(p);
+      note(p, sim_op::fdec, remote, bump(p));
       return old > T{0} ? old : T{0};
     }
 
@@ -295,10 +370,31 @@ struct sim_platform {
       return false;
     }
 
-    void bump(proc& p) {
+    // Advance the modification count; returns the version this write
+    // produced (the identity the race checker pairs reads against).
+    std::uint64_t bump(proc& p) {
       std::uint64_t nv =
           version_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (p.model() == cost_model::cc) p.cc_note_write(this, nv);
+      return nv;
+    }
+
+    // Report the access to the proc's observer, if any, with the wait and
+    // section context the proc is currently carrying.
+    void note(proc& p, sim_op op, bool remote, std::uint64_t version) const {
+      if (p.observer_ == nullptr) return;
+      sim_access a;
+      a.var = this;
+      a.wait_target = p.wait_target_;
+      a.version = version;
+      a.section = p.section_;
+      a.wait_episode = p.wait_episode_;
+      a.wait_iter = p.wait_episode_ != 0 ? p.wait_iter_ : 0;
+      a.pid = p.id;
+      a.var_owner = owner_;
+      a.op = op;
+      a.remote = remote;
+      p.observer_->on_access(a);
     }
 
     std::atomic<T> v_;
@@ -308,10 +404,16 @@ struct sim_platform {
 
   // Multi-variable wait: pred performs its own (charged) shared reads.
   // Same shape as the open-coded baseline loops it replaced: evaluate,
-  // spin, re-evaluate.
+  // spin, re-evaluate.  The wait scope tags every access the predicate
+  // issues with the episode context (target nullptr: no single awaited
+  // variable exists — the property the local-spin linter keys on).
   template <class Pred>
   static void poll(proc& p, Pred pred) {
-    while (!pred()) p.spin();
+    proc::wait_scope wait(p, nullptr);
+    while (!pred()) {
+      p.spin();
+      wait.next_iteration();
+    }
   }
 
   static constexpr bool counts_rmr = true;

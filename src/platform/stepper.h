@@ -97,6 +97,19 @@ struct explore_outcome {
   std::string schedule;  // the prefix that was driven, as pid digits
 };
 
+// Knobs for run_stepped beyond the schedule itself.  `model` selects the
+// cost model the gated procs charge accesses under (the protocol auditor
+// steps algorithms under cc/dsm to lint their spin discipline); `setup`
+// runs against the freshly built process set before any worker starts —
+// the hook for attaching an access-trace recorder or declaring DSM
+// owners.
+struct stepped_options {
+  long completion_budget = 200000;
+  std::function<void()> probe = {};
+  cost_model model = cost_model::none;
+  std::function<void(process_set<sim_platform>&)> setup = {};
+};
+
 // Runs `scripts[pid](proc)` for each pid under the given schedule prefix;
 // after the prefix, completes round-robin.  `completion_budget` bounds
 // post-prefix steps per process; exceeding it reports deadlock (for
@@ -111,11 +124,13 @@ struct explore_outcome {
 // gated proc (use debug accessors / raw reads).
 inline explore_outcome run_stepped(
     std::vector<std::function<void(sim_platform::proc&)>> scripts,
-    const std::vector<int>& prefix, long completion_budget = 200000,
-    const std::function<void()>& probe = {}) {
+    const std::vector<int>& prefix, const stepped_options& options) {
+  const long completion_budget = options.completion_budget;
+  const std::function<void()>& probe = options.probe;
   const int n = static_cast<int>(scripts.size());
   step_scheduler sched(n);
-  process_set<sim_platform> procs(n, cost_model::none);
+  process_set<sim_platform> procs(n, options.model);
+  if (options.setup) options.setup(procs);
   std::vector<std::thread> threads;
   threads.reserve(scripts.size());
   for (int pid = 0; pid < n; ++pid) {
@@ -168,6 +183,17 @@ inline explore_outcome run_stepped(
   }
   for (auto& t : threads) t.join();
   return out;
+}
+
+// Positional-parameter form kept for the existing call sites.
+inline explore_outcome run_stepped(
+    std::vector<std::function<void(sim_platform::proc&)>> scripts,
+    const std::vector<int>& prefix, long completion_budget = 200000,
+    const std::function<void()>& probe = {}) {
+  stepped_options options;
+  options.completion_budget = completion_budget;
+  options.probe = probe;
+  return run_stepped(std::move(scripts), prefix, options);
 }
 
 // Enumerate every schedule prefix in {0..nprocs-1}^depth, invoking

@@ -40,11 +40,21 @@ struct rmr_result {
 // yields): longer holds lengthen waiting episodes, which inflates the
 // remote counts of globally-spinning algorithms but — the paper's whole
 // point — not of the local-spin ones.
+//
+// `observer`, if given, taps the full access stream of the measured run
+// (pid, op, remote bit, wait-episode tags) — bench --audit mode feeds it
+// to the analysis/ checkers so a Table-1 row carries a lint verdict next
+// to its RMR numbers.  Free-running traces are a faithful sample, not a
+// provable linearization (see analysis/trace.h).
 template <class KEx>
 rmr_result measure_rmr(KEx& alg, int c, int iterations, cost_model model,
-                       int cs_yields = 2) {
+                       int cs_yields = 2,
+                       sim_access_observer* observer = nullptr) {
   KEX_CHECK_MSG(c >= 1 && iterations >= 1, "measure_rmr: bad parameters");
   process_set<sim_platform> procs(std::max(c, alg.n()), model);
+  if (observer != nullptr)
+    for (int pid = 0; pid < procs.size(); ++pid)
+      procs[pid].set_observer(observer);
   cs_monitor monitor;
 
   struct per_proc {

@@ -1,0 +1,361 @@
+// Auditor self-tests: the trace recorder, the three checkers against
+// seeded violations (a deliberately remote-spinning lock, an undeclared
+// two-variable atomic section, an unsynchronized client object), and the
+// clean verdicts the catalog must earn — including exhaustively over every
+// stepped schedule prefix of one small configuration.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/atomicity.h"
+#include "analysis/audit.h"
+#include "analysis/race_check.h"
+#include "analysis/spin_lint.h"
+#include "analysis/trace.h"
+#include "kex/any_kex.h"
+#include "platform/stepper.h"
+
+namespace {
+
+using namespace kex;
+using namespace kex::analysis;
+
+using sim_proc = sim_platform::proc;
+using script = std::function<void(sim_proc&)>;
+
+// Run scripts under a stepped schedule with a trace attached; return the
+// merged event stream.
+std::vector<traced_access> trace_stepped(std::vector<script> scripts,
+                                         const std::vector<int>& prefix,
+                                         cost_model model = cost_model::cc) {
+  auto n = static_cast<int>(scripts.size());
+  access_trace trace(n);
+  stepped_options options;
+  options.model = model;
+  options.setup = [&](process_set<sim_platform>& procs) {
+    trace.attach(procs);
+  };
+  auto outcome = run_stepped(std::move(scripts), prefix, options);
+  EXPECT_FALSE(outcome.deadlocked);
+  return trace.events();
+}
+
+TEST(AccessTrace, RecordsOpsPidsAndVersions) {
+  auto data = std::make_shared<sim_platform::var<long>>(0);
+  std::vector<script> scripts;
+  for (int pid = 0; pid < 2; ++pid) {
+    scripts.push_back([data](sim_proc& p) {
+      data->fetch_add(p, 1);
+      (void)data->read(p);
+    });
+  }
+  auto events = trace_stepped(scripts, {});
+  ASSERT_EQ(events.size(), 4u);
+  int faa = 0, reads = 0;
+  for (const auto& e : events) {
+    EXPECT_TRUE(e.pid == 0 || e.pid == 1);
+    EXPECT_EQ(e.var, data.get());
+    if (e.op == sim_op::faa) ++faa;
+    if (e.op == sim_op::read) ++reads;
+  }
+  EXPECT_EQ(faa, 2);
+  EXPECT_EQ(reads, 2);
+  // The stamps are the execution order; versions on the writes are 1, 2.
+  EXPECT_EQ(events[0].version, 1u);
+}
+
+TEST(AccessTrace, TagsWaitEpisodesAndIterations) {
+  auto flag = std::make_shared<sim_platform::var<int>>(0);
+  std::vector<script> scripts;
+  scripts.push_back([flag](sim_proc& p) {
+    flag->await(p, [](int v) { return v == 1; });
+  });
+  scripts.push_back([flag](sim_proc& p) { flag->write(p, 1); });
+  // Let the waiter spin a few times before the writer runs.
+  auto events = trace_stepped(scripts, {0, 0, 0, 0});
+  auto episodes = collect_wait_episodes(events);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].pid, 0);
+  EXPECT_EQ(episodes[0].target, flag.get());
+  EXPECT_GE(episodes[0].iterations, 3u);
+}
+
+// --- seeded violation 1: a remote-spinning lock ---------------------------
+
+// Test-and-set spin lock, the canonical Table-1 offender: every wait
+// iteration issues an exchange — a write, remote under CC — that fails to
+// acquire and fails to end the wait.
+struct tas_spin_lock {
+  sim_platform::var<int> locked{0};
+
+  void acquire(sim_proc& p) {
+    sim_platform::poll(p, [&] { return locked.exchange(p, 1) == 0; });
+  }
+  void release(sim_proc& p) { locked.write(p, 0); }
+};
+
+TEST(SpinLint, FlagsRemoteSpinningTasLock) {
+  auto lock = std::make_shared<tas_spin_lock>();
+  auto data = std::make_shared<sim_platform::var<long>>(0);
+  std::vector<script> scripts;
+  for (int pid = 0; pid < 3; ++pid) {
+    scripts.push_back([lock, data](sim_proc& p) {
+      for (int i = 0; i < 2; ++i) {
+        lock->acquire(p);
+        data->write(p, data->read(p) + 1);
+        lock->release(p);
+      }
+    });
+  }
+  auto events = trace_stepped(scripts, {});
+  auto report = lint_local_spin(events);
+  EXPECT_FALSE(report.clean());
+  EXPECT_GT(report.worst_wasted, 2u);
+  // The race checker, by contrast, must be satisfied: a TAS lock excludes
+  // correctly, it just spins rudely.
+  race_options ro;
+  ro.nprocs = 3;
+  ro.k = 1;
+  ro.data_vars = {data.get()};
+  EXPECT_TRUE(check_races(events, ro).clean());
+}
+
+TEST(SpinLint, PassesLocalHandoffSpin) {
+  // A proper local spin: each waiter has its own flag, written once by
+  // the handoff — zero wasted remote references.
+  auto flags = std::make_shared<
+      std::vector<padded<sim_platform::var<int>>>>(3);
+  std::vector<script> scripts;
+  scripts.push_back([flags](sim_proc& p) {
+    (*flags)[1].value.write(p, 1);  // wake pid 1
+    (*flags)[2].value.write(p, 1);  // wake pid 2
+  });
+  for (int pid = 1; pid < 3; ++pid) {
+    scripts.push_back([flags, pid](sim_proc& p) {
+      (*flags)[static_cast<std::size_t>(pid)].value.await(
+          p, [](int v) { return v == 1; });
+    });
+  }
+  // Park the waiters deep in their spins before the waker runs.
+  auto events = trace_stepped(scripts, {1, 2, 1, 2, 1, 2, 1, 2});
+  auto report = lint_local_spin(events);
+  EXPECT_TRUE(report.clean()) << report.findings.front().reason;
+  EXPECT_GE(report.episodes_waited, 2u);
+}
+
+// --- seeded violation 2: an undeclared multi-variable atomic section ------
+
+TEST(Atomicity, FlagsUndeclaredTwoVariableSection) {
+  auto a = std::make_shared<sim_platform::var<long>>(0);
+  auto b = std::make_shared<sim_platform::var<long>>(0);
+  std::vector<script> scripts;
+  scripts.push_back([a, b](sim_proc& p) {
+    atomic_section_scope<sim_proc> section(p);
+    a->write(p, 1);
+    b->write(p, 1);  // second variable inside one declared atomic step
+  });
+  auto events = trace_stepped(scripts, {});
+  auto report = certify_atomicity(events);
+  ASSERT_EQ(report.multivar_sections.size(), 1u);
+  EXPECT_EQ(report.multivar_sections[0].footprint, 2u);
+  EXPECT_FALSE(report.clean(/*declared_idealized=*/false));
+  // The same trace is legal for a row that declares itself idealized.
+  EXPECT_TRUE(report.clean(/*declared_idealized=*/true));
+}
+
+TEST(Atomicity, SingleVariableSectionsAndPlainStepsAreClean) {
+  auto a = std::make_shared<sim_platform::var<long>>(0);
+  std::vector<script> scripts;
+  scripts.push_back([a](sim_proc& p) {
+    a->fetch_add(p, 1);
+    atomic_section_scope<sim_proc> section(p);
+    a->write(p, 7);
+    (void)a->read(p);
+  });
+  auto events = trace_stepped(scripts, {});
+  auto report = certify_atomicity(events);
+  EXPECT_TRUE(report.clean(false));
+  EXPECT_EQ(report.sections, 1u);
+  EXPECT_EQ(report.max_footprint, 1u);
+  EXPECT_EQ(report.single_steps, 1u);
+}
+
+// --- seeded violation 3: a racy client object -----------------------------
+
+TEST(RaceCheck, FlagsUnsynchronizedWrites) {
+  auto data = std::make_shared<sim_platform::var<long>>(0);
+  std::vector<script> scripts;
+  for (int pid = 0; pid < 3; ++pid) {
+    scripts.push_back([data](sim_proc& p) {
+      data->write(p, data->read(p) + 1);
+    });
+  }
+  auto events = trace_stepped(scripts, {});
+  race_options ro;
+  ro.nprocs = 3;
+  ro.k = 1;
+  ro.data_vars = {data.get()};
+  auto report = check_races(events, ro);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.max_concurrent_writers, 3);
+  // The same trace violates even a k=2 claim: three concurrent writers.
+  ro.k = 2;
+  EXPECT_FALSE(check_races(events, ro).clean());
+  ro.k = 3;
+  EXPECT_TRUE(check_races(events, ro).clean());
+}
+
+TEST(RaceCheck, LockProtectedWritesAreOrdered) {
+  auto alg = std::make_shared<any_kex<sim_platform>>(
+      make_kex<sim_platform>("mcs", 3, 1));
+  auto data = std::make_shared<sim_platform::var<long>>(0);
+  std::vector<script> scripts;
+  for (int pid = 0; pid < 3; ++pid) {
+    scripts.push_back([alg, data](sim_proc& p) {
+      for (int i = 0; i < 2; ++i) {
+        alg->acquire(p);
+        data->write(p, data->read(p) + 1);
+        alg->release(p);
+      }
+    });
+  }
+  auto events = trace_stepped(scripts, {});
+  race_options ro;
+  ro.nprocs = 3;
+  ro.k = 1;
+  ro.data_vars = {data.get()};
+  auto report = check_races(events, ro);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.max_concurrent_writers, 1);
+  EXPECT_EQ(report.data_writes, 6u);
+}
+
+// --- the catalog earns its verdicts ---------------------------------------
+
+TEST(Audit, TheoremAlgorithmsAuditClean) {
+  for (const char* name : {"cc_inductive", "cc_fast"}) {
+    audit_config cfg;
+    cfg.name = name;
+    cfg.model = cost_model::cc;
+    cfg.n = 5;
+    cfg.k = 2;
+    auto row = run_audit(cfg);
+    EXPECT_TRUE(row.as_expected()) << name << ": spin=" << row.spin.detail
+                                   << " race=" << row.race.detail;
+    EXPECT_TRUE(row.spin.clean) << row.spin.detail;
+    EXPECT_TRUE(row.race.clean) << row.race.detail;
+    EXPECT_TRUE(row.atomicity.clean) << row.atomicity.detail;
+  }
+}
+
+TEST(Audit, DsmAlgorithmAuditsCleanUnderDsm) {
+  audit_config cfg;
+  cfg.name = "dsm_bounded";
+  cfg.model = cost_model::dsm;
+  cfg.n = 5;
+  cfg.k = 2;
+  auto row = run_audit(cfg);
+  EXPECT_TRUE(row.as_expected()) << "spin=" << row.spin.detail;
+}
+
+TEST(Audit, RemoteSpinningBaselineIsCaught) {
+  audit_config cfg;
+  cfg.name = "ticket";
+  cfg.model = cost_model::cc;
+  cfg.n = 8;
+  cfg.k = 1;
+  cfg.expect_local_spin = false;
+  auto row = run_audit(cfg);
+  EXPECT_FALSE(row.spin.clean) << "ticket lock slipped past the linter";
+  EXPECT_TRUE(row.race.clean) << row.race.detail;
+  EXPECT_TRUE(row.as_expected());
+}
+
+TEST(Audit, IdealizedBaselineFlagsSpinButDeclaresAtomicity) {
+  audit_config cfg;
+  cfg.name = "atomic_queue";
+  cfg.model = cost_model::cc;
+  cfg.n = 6;
+  cfg.k = 1;  // deep queue: see default_audit_matrix on this shape
+  cfg.expect_local_spin = false;
+  cfg.declared_idealized = true;
+  cfg.stepped = false;  // holds a real mutex: cannot run under the gate
+  auto row = run_audit(cfg);
+  EXPECT_FALSE(row.spin.clean);
+  EXPECT_TRUE(row.atomicity.clean);
+  EXPECT_TRUE(row.as_expected());
+  // The same trace without the declaration must fail atomicity.
+  cfg.declared_idealized = false;
+  auto strict = run_audit(cfg);
+  EXPECT_FALSE(strict.atomicity.clean);
+}
+
+TEST(Audit, RenamingAndServiceRowsAuditClean) {
+  audit_config ren;
+  ren.name = "tas_renaming";
+  ren.kind = audit_kind::renaming;
+  ren.n = 3;
+  ren.k = 3;
+  auto ren_row = run_audit(ren);
+  EXPECT_TRUE(ren_row.as_expected())
+      << "spin=" << ren_row.spin.detail << " race=" << ren_row.race.detail;
+
+  audit_config svc;
+  svc.name = "cc_inductive";
+  svc.kind = audit_kind::service;
+  svc.n = 3;
+  svc.k = 1;
+  svc.iterations = 2;
+  auto svc_row = run_audit(svc);
+  EXPECT_TRUE(svc_row.as_expected())
+      << "spin=" << svc_row.spin.detail << " race=" << svc_row.race.detail;
+  EXPECT_GT(svc_row.events, 0u);
+}
+
+// Every stepped schedule prefix of depth 3 over a (4,2) configuration:
+// the lint and race verdicts hold on all 64 interleavings, not just the
+// curated ones.
+TEST(Audit, ExhaustivePrefixesStayClean) {
+  const int nprocs = 4, depth = 3;
+  std::vector<int> prefix(depth, 0);
+  long runs = 0;
+  for (;;) {
+    auto alg = std::make_shared<any_kex<sim_platform>>(
+        make_kex<sim_platform>("cc_inductive", nprocs, 2));
+    auto data = std::make_shared<sim_platform::var<long>>(0);
+    std::vector<script> scripts;
+    for (int pid = 0; pid < nprocs; ++pid) {
+      scripts.push_back([alg, data](sim_proc& p) {
+        for (int i = 0; i < 2; ++i) {
+          alg->acquire(p);
+          data->write(p, data->read(p) + 1);
+          alg->release(p);
+        }
+      });
+    }
+    auto events = trace_stepped(scripts, prefix);
+    auto spin = lint_local_spin(events);
+    EXPECT_TRUE(spin.clean())
+        << "schedule " << prefix[0] << prefix[1] << prefix[2] << ": "
+        << spin.findings.front().reason;
+    race_options ro;
+    ro.nprocs = nprocs;
+    ro.k = 2;
+    ro.data_vars = {data.get()};
+    auto race = check_races(events, ro);
+    EXPECT_TRUE(race.clean());
+    EXPECT_LE(race.max_concurrent_writers, 2);
+    EXPECT_TRUE(certify_atomicity(events).clean(false));
+    ++runs;
+    int i = depth - 1;
+    while (i >= 0 && prefix[static_cast<std::size_t>(i)] == nprocs - 1)
+      prefix[static_cast<std::size_t>(i--)] = 0;
+    if (i < 0) break;
+    ++prefix[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(runs, 64);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Compile-time hardening checks: the platform API's concept constraints
+// must admit exactly the types the paper's model allows.  The "negative"
+// cases are genuine negative-compile tests — `requires` expressions name
+// the would-be instantiation, so an accidentally-satisfied constraint
+// turns into a failing static_assert here rather than a silent template
+// instantiation somewhere else.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "platform/platform.h"
+#include "platform/real.h"
+#include "platform/sim.h"
+
+namespace {
+
+using namespace kex;
+
+// --- shared_word: what a platform variable may hold -----------------------
+
+static_assert(shared_word<int>);
+static_assert(shared_word<long>);
+static_assert(shared_word<unsigned long long>);
+static_assert(shared_word<bool>);
+
+// Not trivially copyable: needs a lock no machine word provides.
+static_assert(!shared_word<std::string>);
+
+// Trivially copyable but too large to be a lock-free atomic word.
+struct four_cachelines {
+  char bytes[256];
+};
+static_assert(!shared_word<four_cachelines>);
+
+// --- var<T> is constrained on both platforms ------------------------------
+
+template <class P, class T>
+concept var_instantiable = requires { typename P::template var<T>; };
+
+static_assert(var_instantiable<sim_platform, int>);
+static_assert(var_instantiable<sim_platform, long>);
+static_assert(var_instantiable<real_platform, int>);
+
+static_assert(!var_instantiable<sim_platform, std::string>);
+static_assert(!var_instantiable<real_platform, std::string>);
+static_assert(!var_instantiable<sim_platform, four_cachelines>);
+static_assert(!var_instantiable<real_platform, four_cachelines>);
+
+// --- the platform concepts admit both implementations ---------------------
+
+static_assert(ProcContext<sim_platform::proc>);
+static_assert(ProcContext<real_platform::proc>);
+static_assert(Platform<sim_platform>);
+static_assert(Platform<real_platform>);
+
+// A proc without the required surface must NOT satisfy ProcContext.
+struct not_a_proc {
+  int id = 0;  // has the member, misses spin() / can_fail / constructors
+};
+static_assert(!ProcContext<not_a_proc>);
+
+struct not_a_platform {
+  using proc = not_a_proc;
+};
+static_assert(!Platform<not_a_platform>);
+
+// --- atomic_section_scope compiles to a no-op off the sim platform --------
+
+// Only the sim proc exposes begin_atomic/end_atomic...
+template <class Proc>
+concept has_atomic_brackets = requires(Proc& p) {
+  p.begin_atomic();
+  p.end_atomic();
+};
+static_assert(has_atomic_brackets<sim_platform::proc>);
+static_assert(!has_atomic_brackets<real_platform::proc>);
+
+// ...yet the scope guard is usable with either proc type.
+TEST(StaticHardening, AtomicSectionScopeIsPortable) {
+  real_platform::proc rp(0);
+  { atomic_section_scope<real_platform::proc> section(rp); }  // no-op
+
+  sim_platform::proc sp(1);
+  sim_platform::var<int> v(0);
+  {
+    atomic_section_scope<sim_platform::proc> section(sp);
+    v.write(sp, 1);
+  }
+  EXPECT_EQ(v.peek(), 1);
+}
+
+// Runtime face of the compile-time claims, so the test binary has at
+// least one assertion per platform.
+TEST(StaticHardening, ConstrainedVarsStillWork) {
+  sim_platform::proc p(0);
+  sim_platform::var<long> v(41);
+  EXPECT_EQ(v.fetch_add(p, 1), 41);
+  EXPECT_EQ(v.read(p), 42);
+
+  real_platform::proc rp(0);
+  real_platform::var<long> rv(41);
+  EXPECT_EQ(rv.fetch_add(rp, 1), 41);
+  EXPECT_EQ(rv.read(rp), 42);
+}
+
+}  // namespace
