@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "platform/topology.h"
 #include "runtime/bench_json.h"
 #include "runtime/rmr_report.h"
 #include "service/lock_table.h"
@@ -69,10 +70,16 @@ run_out run_once(int shards, bool zipf) {
   kex::lock_table<real> table(shards, "cc_fast", THREADS, K);
   zipf_sampler zdist(KEYS, ZIPF_S);
 
+  // Workers pin per the active plan (--pin / KEX_PIN) before attaching,
+  // so session pids inherit the placement the shard home_node layout and
+  // the `numa` policy's contiguous blocks assume.
+  const kex::pin_plan plan = kex::default_pin_plan(THREADS);
   std::vector<std::thread> workers;
   auto t0 = std::chrono::steady_clock::now();
   for (int t = 0; t < THREADS; ++t) {
     workers.emplace_back([&, t] {
+      const int cpu = plan.cpu_for(t);
+      if (cpu >= 0) kex::pin_current_thread(cpu);
       auto session = registry.attach();
       std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 0x9e3779b9u + 1);
       std::uniform_real_distribution<double> uni(0.0, 1.0);
@@ -109,11 +116,20 @@ run_out run_once(int shards, bool zipf) {
 
 int main(int argc, char** argv) {
   std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  std::string topo_spec = kex::bench_json::consume_flag(argc, argv, "topology");
+  std::string pin_spec = kex::bench_json::consume_flag(argc, argv, "pin");
+  if (!topo_spec.empty())
+    kex::set_global_topology(kex::topology::from_spec(topo_spec));
+  if (!pin_spec.empty())
+    kex::set_global_pin_policy(kex::parse_pin_policy(pin_spec));
   kex::bench_json out("bench_lock_table");
   out.label("threads", std::to_string(THREADS));
   out.label("keys", std::to_string(KEYS));
   out.label("k", std::to_string(K));
   out.label("zipf_s", std::to_string(ZIPF_S));
+  out.label("topology", kex::global_topology().describe());
+  out.label("pin_policy",
+            std::string(kex::to_string(kex::global_pin_policy())));
 
   std::cout << "=== Lock-table throughput vs shard count and skew ===\n"
             << THREADS << " threads (sessions), " << KEYS

@@ -20,6 +20,7 @@
 #include "baselines/bakery_kex.h"
 #include "baselines/os_primitives.h"
 #include "kex/algorithms.h"
+#include "platform/topology.h"
 #include "platform/wait.h"
 #include "renaming/k_assignment.h"
 #include "resilient/resilient.h"
@@ -29,10 +30,16 @@ namespace {
 
 using real = kex::real_platform;
 
-// One proc context per benchmark thread, stable across iterations.
+// One proc context per benchmark thread, stable across iterations.  Each
+// thread first pins itself per the active plan (--pin / KEX_PIN; policy
+// `none` pins nothing), so pid -> CPU matches what the topology-aware
+// layouts assume.
 template <class Alg>
 void cycle(benchmark::State& state, Alg& alg) {
-  real::proc p{static_cast<int>(state.thread_index())};
+  const int pid = static_cast<int>(state.thread_index());
+  const int cpu = kex::default_pin_plan(state.threads()).cpu_for(pid);
+  if (cpu >= 0) kex::pin_current_thread(cpu);
+  real::proc p{pid};
   for (auto _ : state) {
     alg.acquire(p);
     benchmark::DoNotOptimize(p.id);
@@ -115,6 +122,60 @@ BENCHMARK_TEMPLATE(bench_alg, kex::baselines::semaphore_kex<real>)
     ->Threads(1)
     ->Threads(K)
     ->Threads(N);
+
+// Topology awareness, isolated: the same Figure-3 tree under the same
+// pinning, differing only in which leaf each pid ascends from.  `naive`
+// is the default pid/k chunking; `aware` feeds the pin plan through
+// topology_leaf_assignment so leaf-mates share the deepest possible cache
+// domain.  Pinning uses the active plan, upgraded to `compact` when the
+// policy is `none` — unpinned threads have no machine position, so the
+// aware/naive distinction would measure nothing (see tree_kex.h).
+namespace topo_bench {
+
+inline const kex::pin_plan& plan(int n) {
+  static kex::pin_plan p = kex::make_pin_plan(
+      kex::global_topology(),
+      kex::global_pin_policy() == kex::pin_policy::none
+          ? kex::pin_policy::compact
+          : kex::global_pin_policy(),
+      n);
+  return p;
+}
+
+}  // namespace topo_bench
+
+static void bench_tree_naive(benchmark::State& state) {
+  static kex::cc_tree<real> tree(N, K);
+  const int pid = static_cast<int>(state.thread_index());
+  const int cpu = topo_bench::plan(N).cpu_for(pid);
+  if (cpu >= 0) kex::pin_current_thread(cpu);
+  real::proc p{pid};
+  for (auto _ : state) {
+    tree.acquire(p);
+    benchmark::DoNotOptimize(p.id);
+    tree.release(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_tree_naive)->Threads(N)->UseRealTime();
+
+static void bench_tree_aware(benchmark::State& state) {
+  static kex::cc_tree<real> tree(
+      N, K, N,
+      kex::topology_leaf_assignment(kex::global_topology(),
+                                    topo_bench::plan(N), N, K));
+  const int pid = static_cast<int>(state.thread_index());
+  const int cpu = topo_bench::plan(N).cpu_for(pid);
+  if (cpu >= 0) kex::pin_current_thread(cpu);
+  real::proc p{pid};
+  for (auto _ : state) {
+    tree.acquire(p);
+    benchmark::DoNotOptimize(p.id);
+    tree.release(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_tree_aware)->Threads(N)->UseRealTime();
 
 // k-assignment end to end (Theorem 9 configuration).
 static void bench_assignment(benchmark::State& state) {
@@ -205,6 +266,12 @@ class json_tee_reporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  std::string topo_spec = kex::bench_json::consume_flag(argc, argv, "topology");
+  std::string pin_spec = kex::bench_json::consume_flag(argc, argv, "pin");
+  if (!topo_spec.empty())
+    kex::set_global_topology(kex::topology::from_spec(topo_spec));
+  if (!pin_spec.empty())
+    kex::set_global_pin_policy(kex::parse_pin_policy(pin_spec));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 
@@ -214,6 +281,13 @@ int main(int argc, char** argv) {
   out.label("hardware_threads",
             std::to_string(std::thread::hardware_concurrency()));
   out.label("oversub_threads", std::to_string(oversub_threads));
+  const auto& topo = kex::global_topology();
+  out.label("topology", topo.describe());
+  out.label("topology_nodes", std::to_string(topo.nodes));
+  out.label("topology_llcs", std::to_string(topo.llcs));
+  out.label("topology_cpus", std::to_string(topo.cpu_count()));
+  out.label("pin_policy",
+            std::string(kex::to_string(kex::global_pin_policy())));
 
   json_tee_reporter reporter(&out);
   benchmark::RunSpecifiedBenchmarks(&reporter);

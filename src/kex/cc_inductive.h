@@ -30,10 +30,9 @@
 // processes flow through each block.
 #pragma once
 
-#include <deque>
-
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "kex/arena_layout.h"
 #include "platform/platform.h"
 
 namespace kex {
@@ -94,6 +93,7 @@ class cc_inductive {
     (void)pid_space;
     KEX_CHECK_MSG(k >= 1 && concurrency > k,
                   "cc_inductive requires 1 <= k < concurrency");
+    levels_.reserve(static_cast<std::size_t>(concurrency - k));
     for (int j = concurrency - 1; j >= k; --j) levels_.emplace_back(j);
   }
 
@@ -102,8 +102,8 @@ class cc_inductive {
   }
 
   void release(proc& p) {
-    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it)
-      it->release(p);
+    for (std::size_t i = levels_.size(); i > 0; --i)
+      levels_[i - 1].release(p);
   }
 
   int n() const { return n_; }
@@ -115,9 +115,10 @@ class cc_inductive {
 
  private:
   int n_, k_;
-  // j = n-1 down to k, in acquisition order.  (deque: levels hold atomics
-  // and are neither copyable nor movable; deque emplaces in place.)
-  std::deque<cc_level<P>> levels_;
+  // j = n-1 down to k, in acquisition order, in one contiguous
+  // cacheline-aligned arena: the levels a process walks every acquisition
+  // are physically adjacent instead of scattered across deque chunks.
+  arena_vector<cc_level<P>> levels_;
 };
 
 }  // namespace kex

@@ -41,11 +41,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "kex/arena_layout.h"
 #include "kex/loc.h"
 #include "platform/platform.h"
 
@@ -66,17 +66,11 @@ class dsm_bounded_level {
         slots_(static_cast<std::uint32_t>(j) + 2),
         x_(j),
         q_(pack(loc_pair{0, 0})),
+        spin_(pid_space, j + 2),
+        reads_(pid_space, j + 2),
         priv_(static_cast<std::size_t>(pid_space)) {
     KEX_CHECK_MSG(j >= 1 && pid_space >= 2,
                   "dsm_bounded_level: bad parameters");
-    spin_.reserve(static_cast<std::size_t>(pid_space));
-    reads_.reserve(static_cast<std::size_t>(pid_space));
-    for (int pid = 0; pid < pid_space; ++pid) {
-      spin_.emplace_back(static_cast<std::size_t>(slots_));
-      reads_.emplace_back(static_cast<std::size_t>(slots_));
-      for (auto& cell : spin_.back()) cell.set_owner(pid);
-      for (auto& cell : reads_.back()) cell.set_owner(pid);
-    }
   }
 
   void acquire(proc& p) {
@@ -84,7 +78,7 @@ class dsm_bounded_level {
       auto& me = priv_[static_cast<std::size_t>(p.id)].value;
       std::uint32_t next = (me.last + 1) % slots_;                // 3
       std::uint32_t scanned = 0;
-      while (reads_[static_cast<std::uint32_t>(p.id)][next].read(p) != 0) {
+      while (reads_.at(p.id, static_cast<int>(next)).read(p) != 0) {
         next = (next + 1) % slots_;                               // 4,5
         // The paper proves a free location is found within one sweep; a
         // much longer scan means the concurrency bound was violated.
@@ -92,24 +86,24 @@ class dsm_bounded_level {
                       "dsm_bounded: no free spin location — concurrency "
                       "bound exceeded?");
       }
-      spin_[static_cast<std::uint32_t>(p.id)][next].write(p, 0);  // 6
+      spin_.at(p.id, static_cast<int>(next)).write(p, 0);         // 6
       std::uint64_t uw = q_.value.read(p);                        // 7
       loc_pair u = unpack(uw);
-      reads_[u.pid][u.loc].fetch_add(p, 1);                       // 8
+      reads_.at(u.pid, u.loc).fetch_add(p, 1);                    // 8
       if (q_.value.read(p) == uw) {                               // 9
-        spin_[u.pid][u.loc].write(p, 1);                          // 10
-        spin_[u.pid][u.loc].wake_one();
+        spin_.at(u.pid, u.loc).write(p, 1);                       // 10
+        spin_.at(u.pid, u.loc).wake_one();
         std::uint64_t mine = pack(loc_pair{
             static_cast<std::uint32_t>(p.id), next});
         if (q_.value.compare_exchange(p, uw, mine)) {             // 11
           me.last = next;                                         // 12
           if (x_.value.read(p) < 0) {                             // 13
-            spin_[static_cast<std::uint32_t>(p.id)][next].await(
+            spin_.at(p.id, static_cast<int>(next)).await(
                 p, [](int f) { return f != 0; });                 // 14
           }
         }
       }
-      reads_[u.pid][u.loc].fetch_add(p, -1);                      // 15
+      reads_.at(u.pid, u.loc).fetch_add(p, -1);                   // 15
     }
   }
 
@@ -117,12 +111,12 @@ class dsm_bounded_level {
     x_.value.fetch_add(p, 1);                                     // 16
     std::uint64_t uw = q_.value.read(p);                          // 17
     loc_pair u = unpack(uw);
-    reads_[u.pid][u.loc].fetch_add(p, 1);                         // 18
+    reads_.at(u.pid, u.loc).fetch_add(p, 1);                      // 18
     if (q_.value.read(p) == uw) {                                 // 19
-      spin_[u.pid][u.loc].write(p, 1);                            // 20
-      spin_[u.pid][u.loc].wake_one();
+      spin_.at(u.pid, u.loc).write(p, 1);                         // 20
+      spin_.at(u.pid, u.loc).wake_one();
     }
-    reads_[u.pid][u.loc].fetch_add(p, -1);                        // 21
+    reads_.at(u.pid, u.loc).fetch_add(p, -1);                     // 21
   }
 
   int capacity() const { return j_; }
@@ -136,8 +130,11 @@ class dsm_bounded_level {
   std::uint32_t slots_;             // j + 2 spin locations per process
   padded<var<int>> x_;              // slot counter, range -1..j
   padded<var<std::uint64_t>> q_;    // packed loc_pair of current waiter
-  std::vector<std::vector<var<int>>> spin_;   // P[pid][loc], owner = pid
-  std::vector<std::vector<var<int>>> reads_;  // R[pid][loc], owner = pid
+  // P[pid][loc] / R[pid][loc]: each process's spin locations and inform
+  // counters live in its own interference-aligned arena row (owner = pid,
+  // declared by the matrix) — the storage the DSM locality proofs assume.
+  spin_matrix<P, int> spin_;
+  spin_matrix<P, int> reads_;
   std::vector<padded<priv_state>> priv_;
 };
 
@@ -152,6 +149,7 @@ class dsm_bounded {
     if (pid_space < 0) pid_space = concurrency;
     KEX_CHECK_MSG(k >= 1 && concurrency > k,
                   "dsm_bounded requires 1 <= k < concurrency");
+    levels_.reserve(static_cast<std::size_t>(concurrency - k));
     for (int j = concurrency - 1; j >= k; --j)
       levels_.emplace_back(j, pid_space);
   }
@@ -161,8 +159,8 @@ class dsm_bounded {
   }
 
   void release(proc& p) {
-    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it)
-      it->release(p);
+    for (std::size_t i = levels_.size(); i > 0; --i)
+      levels_[i - 1].release(p);
   }
 
   int n() const { return n_; }
@@ -171,7 +169,7 @@ class dsm_bounded {
 
  private:
   int n_, k_;
-  std::deque<dsm_bounded_level<P>> levels_;
+  arena_vector<dsm_bounded_level<P>> levels_;
 };
 
 }  // namespace kex

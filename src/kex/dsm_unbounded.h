@@ -34,11 +34,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "kex/arena_layout.h"
 #include "kex/loc.h"
 #include "platform/platform.h"
 
@@ -60,14 +60,10 @@ class dsm_unbounded_level {
         capacity_(capacity),
         x_(j),
         q_(pack(loc_pair{0, 0})),
+        spin_(pid_space, static_cast<int>(capacity)),
         priv_(static_cast<std::size_t>(pid_space)) {
     KEX_CHECK_MSG(j >= 1 && pid_space >= 2 && capacity >= 2,
                   "dsm_unbounded_level: bad parameters");
-    spin_.reserve(static_cast<std::size_t>(pid_space));
-    for (int pid = 0; pid < pid_space; ++pid) {
-      spin_.emplace_back(static_cast<std::size_t>(capacity));
-      for (auto& cell : spin_.back()) cell.set_owner(pid);
-    }
   }
 
   void acquire(proc& p) {
@@ -121,17 +117,19 @@ class dsm_unbounded_level {
   };
 
   var<int>& flag(std::uint32_t pid, std::uint32_t loc) {
-    return spin_[pid][loc];
+    return spin_.at(pid, loc);
   }
   var<int>& flag(int pid, std::uint32_t loc) {
-    return spin_[static_cast<std::uint32_t>(pid)][loc];
+    return spin_.at(pid, static_cast<int>(loc));
   }
 
   int j_;
   std::uint32_t capacity_;
   padded<var<int>> x_;             // slot counter, range -1..j
   padded<var<std::uint64_t>> q_;   // packed loc_pair of current waiter
-  std::vector<std::vector<var<int>>> spin_;  // spin_[pid][loc], owner = pid
+  // spin[pid][loc], owner = pid: one interference-aligned arena row per
+  // process (see kex/arena_layout.h).
+  spin_matrix<P, int> spin_;
   std::vector<padded<priv_state>> priv_;     // per-process private vars
 };
 
@@ -152,6 +150,7 @@ class dsm_unbounded {
     if (pid_space < 0) pid_space = concurrency;
     KEX_CHECK_MSG(k >= 1 && concurrency > k,
                   "dsm_unbounded requires 1 <= k < concurrency");
+    levels_.reserve(static_cast<std::size_t>(concurrency - k));
     for (int j = concurrency - 1; j >= k; --j)
       levels_.emplace_back(j, pid_space, capacity);
   }
@@ -161,8 +160,8 @@ class dsm_unbounded {
   }
 
   void release(proc& p) {
-    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it)
-      it->release(p);
+    for (std::size_t i = levels_.size(); i > 0; --i)
+      levels_[i - 1].release(p);
   }
 
   int n() const { return n_; }
@@ -178,7 +177,7 @@ class dsm_unbounded {
 
  private:
   int n_, k_;
-  std::deque<dsm_unbounded_level<P>> levels_;
+  arena_vector<dsm_unbounded_level<P>> levels_;
 };
 
 }  // namespace kex

@@ -33,12 +33,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "kex/arena_layout.h"
 #include "kex/kexclusion.h"
 #include "primitives/ops.h"
 #include "platform/platform.h"
@@ -62,31 +62,33 @@ class fast_path_kex {
         k_(k),
         x_(k),
         block_(2 * k, k, pid_space < 0 ? n : pid_space),
-        slow_(n, k, pid_space < 0 ? n : pid_space),
-        slow_flag_(static_cast<std::size_t>(pid_space < 0 ? n : pid_space)),
-        stats_(static_cast<std::size_t>(pid_space < 0 ? n : pid_space)) {
+        slow_(n, k, pid_space < 0 ? n : pid_space) {
     KEX_CHECK_MSG(k >= 1 && n > k, "fast_path_kex requires 1 <= k < n");
+    const int pids = pid_space < 0 ? n : pid_space;
+    procs_.reserve(static_cast<std::size_t>(pids));
+    for (int pid = 0; pid < pids; ++pid) procs_.emplace_back();
   }
 
   void acquire(proc& p) {
-    auto& slow = slow_flag_[static_cast<std::size_t>(p.id)].value;
-    auto& st = stats_[static_cast<std::size_t>(p.id)].value;
-    slow = false;                                               // 1
+    auto& mine = procs_[static_cast<std::size_t>(p.id)];
+    mine.slow = false;                                          // 1
     if (x_.value.fetch_dec_floor0(p) == 0) {                    // 2
-      slow = true;                                              // 3
-      st.slow.store(st.slow.load(std::memory_order_relaxed) + 1,
-                    std::memory_order_relaxed);
+      mine.slow = true;                                         // 3
+      mine.slow_hits.store(
+          mine.slow_hits.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
       slow_.acquire(p);                                         // 4
     } else {
-      st.fast.store(st.fast.load(std::memory_order_relaxed) + 1,
-                    std::memory_order_relaxed);
+      mine.fast_hits.store(
+          mine.fast_hits.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
     }
     block_.acquire(p);                                          // 5
   }
 
   void release(proc& p) {
     block_.release(p);                                          // 6
-    if (slow_flag_[static_cast<std::size_t>(p.id)].value) {     // 7
+    if (procs_[static_cast<std::size_t>(p.id)].slow) {          // 7
       slow_.release(p);                                         // 8
     } else {
       x_.value.fetch_add(p, 1);                                 // 9
@@ -99,21 +101,21 @@ class fast_path_kex {
   Block& block() { return block_; }
 
   // Introspection: how many acquisitions took each path.  Diagnostics
-  // outside the cost model, kept per process in padded slots — a shared
-  // fetch_add here would ping-pong a cache line on every fast-path
-  // acquisition, the exact traffic the fast path exists to avoid — and
-  // aggregated on read (each slot is single-writer, so a relaxed
-  // load/store pair per acquisition suffices).
+  // outside the cost model, kept per process — a shared fetch_add here
+  // would ping-pong a cache line on every fast-path acquisition, the
+  // exact traffic the fast path exists to avoid — and aggregated on read
+  // (each slot is single-writer, so a relaxed load/store pair per
+  // acquisition suffices).
   std::uint64_t fast_hits() const {
     std::uint64_t total = 0;
-    for (const auto& st : stats_)
-      total += st.value.fast.load(std::memory_order_relaxed);
+    for (const auto& st : procs_)
+      total += st.fast_hits.load(std::memory_order_relaxed);
     return total;
   }
   std::uint64_t slow_hits() const {
     std::uint64_t total = 0;
-    for (const auto& st : stats_)
-      total += st.value.slow.load(std::memory_order_relaxed);
+    for (const auto& st : procs_)
+      total += st.slow_hits.load(std::memory_order_relaxed);
     return total;
   }
   double fast_hit_rate() const {
@@ -125,16 +127,22 @@ class fast_path_kex {
   }
 
  private:
-  struct path_stats {
-    std::atomic<std::uint64_t> fast{0}, slow{0};
+  // One process's entire Figure-4 private state — the `slow` flag
+  // (statement 1/3/7) plus its path counters — on a single line it alone
+  // writes.  Previously `slow` and the stats lived in two separately
+  // padded vectors: two lines touched per acquisition where one suffices.
+  struct per_proc {
+    bool slow = false;  // the private variable `slow`
+    std::atomic<std::uint64_t> fast_hits{0}, slow_hits{0};
   };
+  static_assert(sizeof(per_proc) <= cacheline_size,
+                "per-process fast-path state must fit one line");
 
   int n_, k_;
   padded<var<int>> x_;  // saturating slot counter, range 0..k
   Block block_;
   Slow slow_;
-  std::vector<padded<bool>> slow_flag_;  // the private variable `slow`
-  std::vector<padded<path_stats>> stats_;  // per-process; summed on read
+  arena_vector<per_proc> procs_;  // one aligned line per pid
 };
 
 // Theorem 4/8: nested fast paths with graceful degradation.
@@ -154,7 +162,16 @@ class graceful_kex {
   graceful_kex(int n, int k, int pid_space = -1) : n_(n), k_(k) {
     if (pid_space < 0) pid_space = n;
     KEX_CHECK_MSG(k >= 1 && n > k, "graceful_kex requires 1 <= k < n");
+    // Stage count is fixed by (n, k): reserve the arena up front so the
+    // stage chain a process descends is one contiguous aligned block.
     int remaining = n;
+    std::size_t nstages = 0;
+    while (remaining > 2 * k) {
+      ++nstages;
+      remaining -= k;
+    }
+    stages_.reserve(nstages);
+    remaining = n;
     while (remaining > 2 * k) {
       stages_.emplace_back(k, 2 * k, pid_space);
       remaining -= k;
@@ -208,7 +225,7 @@ class graceful_kex {
   stage& stage_at(int i) { return stages_[static_cast<std::size_t>(i)]; }
 
   int n_, k_;
-  std::deque<stage> stages_;
+  arena_vector<stage> stages_;
   std::optional<Block> final_block_;
   std::vector<padded<int>> depth_;  // private: stage reached per process
 };

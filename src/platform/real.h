@@ -2,8 +2,12 @@
 // sequentially-consistent operations.
 //
 // The paper's algorithms (and their proofs) assume atomic numbered
-// statements over a sequentially consistent memory — hence every operation
-// here uses std::memory_order_seq_cst.  This platform adds no
+// statements over a sequentially consistent memory — hence every *write*
+// and every single-shot read here uses std::memory_order_seq_cst.  The one
+// relaxation is the spin loads inside await/await_while (acquire; the
+// ordering argument is documented at the site): failed iterations are
+// side-effect-free and the exit iteration still gets a release-acquire
+// handoff edge from the writer's seq_cst store.  This platform adds no
 // instrumentation and is what the wall-clock throughput benchmarks run on;
 // the simulated platform (sim.h) shares the same variable API so each
 // algorithm is written once as a template.
@@ -80,27 +84,50 @@ struct real_platform {
     // while the variable keeps that exact value, so a predicate consulting
     // anything else could sleep through its own wakeup.  Writers that can
     // flip the predicate must call wake_one/wake_all after their write.
+    //
+    // Ordering: these spin loads are acquire, not seq_cst — the one
+    // deliberate relaxation on this platform.  The argument, per site:
+    //   * A loop iteration whose predicate fails has no side effects and
+    //     publishes nothing; its observed value never escapes, so its
+    //     strength is irrelevant to the proofs.
+    //   * The iteration that exits observed a value stored by some
+    //     protocol writer.  Every store on this platform is seq_cst, hence
+    //     also a release store; the acquire load synchronizes-with it, so
+    //     everything sequenced before the writer's store (its critical
+    //     section, its earlier protocol writes) is visible to the waiter
+    //     before it proceeds — exactly the handoff edge the algorithms
+    //     need from statements like Figure 2's "while Q = p" or Figure
+    //     5/6's "while !P[p][loc]".
+    //   * The waiter performs no writes between loop iterations, so no
+    //     store of its own can be reordered into the window; SC order
+    //     among the *writes* (which the proofs do reason about) is
+    //     untouched because every write remains seq_cst.
+    // All single-shot protocol reads (read(), fetch_* return values,
+    // compare_exchange) stay seq_cst: those participate in the proofs'
+    // global order.  On x86 this removes nothing (loads are acquire
+    // anyway); on arm64 it drops a dmb per spin iteration — the hot path.
     template <class Pred>
     T await(proc&, Pred pred, wait_opts opts = {}) {
-      T v = v_.load(std::memory_order_seq_cst);
+      T v = v_.load(std::memory_order_acquire);
       if (pred(v)) return v;
       wait_engine engine(opts);
       for (;;) {
-        v = v_.load(std::memory_order_seq_cst);
+        v = v_.load(std::memory_order_acquire);
         if (pred(v)) return v;
-        engine.step([&] { v_.wait(v, std::memory_order_seq_cst); });
+        engine.step([&] { v_.wait(v, std::memory_order_acquire); });
       }
     }
 
     // Wait while the variable holds `old`; returns the first other value.
+    // Same acquire argument as await() above.
     T await_while(proc&, T old, wait_opts opts = {}) {
-      T v = v_.load(std::memory_order_seq_cst);
+      T v = v_.load(std::memory_order_acquire);
       if (v != old) return v;
       wait_engine engine(opts);
       for (;;) {
-        v = v_.load(std::memory_order_seq_cst);
+        v = v_.load(std::memory_order_acquire);
         if (v != old) return v;
-        engine.step([&] { v_.wait(old, std::memory_order_seq_cst); });
+        engine.step([&] { v_.wait(old, std::memory_order_acquire); });
       }
     }
 

@@ -1,0 +1,522 @@
+// Machine-topology discovery and CPU-pinning plans.
+//
+// The paper's cost model separates local from remote references; on real
+// hardware that line runs through the cache/NUMA hierarchy.  A spin
+// variable is "local" only if the waiter stays on the core whose cache
+// holds it, and a tree node is cheap only if the processes sharing it also
+// share a cache domain.  This header supplies the machine model the rest
+// of the stack keys layout decisions on:
+//
+//   * `topology` — logical CPUs with their NUMA node, package, last-level
+//     cache group, core and SMT position, parsed from Linux sysfs.  Tests
+//     and the sim platform use `topology::synthetic(...)`, or canned sysfs
+//     trees via the `sysfs_root` parameter of discover().
+//   * `pin_plan` / `make_pin_plan` — deterministic pid -> cpu maps under
+//     the policies `none | compact | scatter | numa` (env `KEX_PIN`), so
+//     benches measure the placement they claim to measure.
+//   * process-wide defaults (`global_topology`, `global_pin_policy`),
+//     overridable by `KEX_TOPOLOGY` (`synthetic:<nodes>x<cores>x<threads>`
+//     or an alternate sysfs root) — the hook CI's synthetic-topology smoke
+//     job uses on single-socket runners.
+//
+// Everything here is pure layout computation except pin_current_thread();
+// nothing touches the platforms' shared-variable accounting.  In
+// particular the sim platform's RMR charging never consults a topology —
+// layout may move memory, never add remote references.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "common/check.h"
+
+namespace kex {
+
+// One logical CPU and where it sits in the machine hierarchy.  All ids are
+// canonical (dense, 0-based, assigned in discovery order) except `cpu`,
+// which is the kernel's logical cpu number.
+struct cpu_location {
+  int cpu = 0;      // kernel logical cpu id (what sched_setaffinity takes)
+  int node = 0;     // NUMA node
+  int package = 0;  // physical socket
+  int llc = 0;      // last-level-cache sharing group
+  int core = 0;     // physical core (globally unique across packages)
+  int smt = 0;      // position among the core's hardware threads (0 first)
+};
+
+// Parse a kernel cpulist ("0-3,8,10-11") into sorted cpu ids.  Tolerant of
+// whitespace/newlines and junk (parses what it can): sysfs reads must not
+// take a bench down.
+inline std::vector<int> parse_cpulist(std::string_view text) {
+  std::vector<int> out;
+  std::size_t i = 0;
+  auto digit = [&](std::size_t j) {
+    return j < text.size() && text[j] >= '0' && text[j] <= '9';
+  };
+  auto number = [&](std::size_t& j) {
+    int v = 0;
+    while (digit(j)) v = v * 10 + (text[j++] - '0');
+    return v;
+  };
+  while (i < text.size()) {
+    if (!digit(i)) {
+      ++i;
+      continue;
+    }
+    int lo = number(i);
+    int hi = lo;
+    if (i < text.size() && text[i] == '-' && digit(i + 1)) {
+      ++i;
+      hi = number(i);
+    }
+    for (int c = lo; c <= hi; ++c) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace detail {
+
+inline bool read_sysfs(const std::string& path, std::string& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+inline int read_sysfs_int(const std::string& path, int fallback) {
+  std::string s;
+  if (!read_sysfs(path, s)) return fallback;
+  try {
+    return std::stoi(s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+// Dense renumbering: maps arbitrary keys to 0..n-1 in first-seen order.
+class id_interner {
+ public:
+  int get(long long key) {
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (keys_[i] == key) return static_cast<int>(i);
+    keys_.push_back(key);
+    return static_cast<int>(keys_.size() - 1);
+  }
+  int count() const { return static_cast<int>(keys_.size()); }
+
+ private:
+  std::vector<long long> keys_;
+};
+
+}  // namespace detail
+
+// The machine as a sorted list of CPU locations.  `cpus` is ordered by
+// (node, package, llc, core, smt, cpu) — the order in which "adjacent"
+// CPUs share the most of the hierarchy, which is exactly the order the
+// compact pin policy and the topology-aware tree builder consume it in.
+class topology {
+ public:
+  std::vector<cpu_location> cpus;
+  int nodes = 1;
+  int packages = 1;
+  int llcs = 1;
+  int cores = 1;
+  bool synthetic_source = false;
+
+  int cpu_count() const { return static_cast<int>(cpus.size()); }
+
+  // Logical cpu ids belonging to `node`, in hierarchy order.
+  std::vector<int> node_cpus(int node) const {
+    std::vector<int> out;
+    for (const auto& c : cpus)
+      if (c.node == node) out.push_back(c.cpu);
+    return out;
+  }
+
+  const cpu_location* find(int cpu) const {
+    for (const auto& c : cpus)
+      if (c.cpu == cpu) return &c;
+    return nullptr;
+  }
+
+  std::string describe() const {
+    std::ostringstream ss;
+    ss << nodes << " node" << (nodes == 1 ? "" : "s") << ", " << llcs
+       << " llc group" << (llcs == 1 ? "" : "s") << ", " << cores << " core"
+       << (cores == 1 ? "" : "s") << ", " << cpu_count() << " cpu"
+       << (cpu_count() == 1 ? "" : "s")
+       << (synthetic_source ? " (synthetic)" : "");
+    return ss.str();
+  }
+
+  // A regular machine: `nodes` NUMA nodes (one package and one LLC group
+  // each) of `cores_per_node` cores with `threads_per_core` hardware
+  // threads.  Logical cpu ids are node-major then core-major — cpu =
+  // ((node*cores + core)*threads + thread) — matching the common kernel
+  // enumeration for such machines.
+  static topology make_synthetic(int nodes, int cores_per_node,
+                                 int threads_per_core) {
+    KEX_CHECK_MSG(nodes >= 1 && cores_per_node >= 1 && threads_per_core >= 1,
+                  "topology::make_synthetic: bad shape");
+    topology t;
+    t.synthetic_source = true;
+    for (int n = 0; n < nodes; ++n)
+      for (int c = 0; c < cores_per_node; ++c)
+        for (int s = 0; s < threads_per_core; ++s) {
+          cpu_location loc;
+          loc.cpu = (n * cores_per_node + c) * threads_per_core + s;
+          loc.node = n;
+          loc.package = n;
+          loc.llc = n;
+          loc.core = n * cores_per_node + c;
+          loc.smt = s;
+          t.cpus.push_back(loc);
+        }
+    t.finalize();
+    return t;
+  }
+
+  // Parse the machine from a sysfs tree.  `sysfs_root` defaults to /sys;
+  // tests point it at canned directory trees (1-socket, 2-socket, SMT,
+  // asymmetric — see tests/topology_test.cpp).  Degrades gracefully: any
+  // missing attribute falls back field by field, and a tree with no CPU
+  // information at all yields a synthetic single-node machine sized by
+  // hardware_concurrency.
+  static topology discover(const std::string& sysfs_root = "/sys") {
+    const std::string cpu_dir = sysfs_root + "/devices/system/cpu";
+    const std::string node_dir = sysfs_root + "/devices/system/node";
+
+    std::string online;
+    std::vector<int> cpu_ids;
+    if (detail::read_sysfs(cpu_dir + "/online", online))
+      cpu_ids = parse_cpulist(online);
+    if (cpu_ids.empty()) {
+      unsigned hc = std::thread::hardware_concurrency();
+      auto fallback =
+          make_synthetic(1, hc > 0 ? static_cast<int>(hc) : 1, 1);
+      fallback.synthetic_source = true;
+      return fallback;
+    }
+
+    // cpu -> NUMA node, from the node directories' cpulists.
+    std::vector<std::pair<int, int>> cpu_node;  // (cpu, node)
+    std::string nodes_online;
+    if (detail::read_sysfs(node_dir + "/online", nodes_online)) {
+      for (int node : parse_cpulist(nodes_online)) {
+        std::string list;
+        if (!detail::read_sysfs(
+                node_dir + "/node" + std::to_string(node) + "/cpulist", list))
+          continue;
+        for (int cpu : parse_cpulist(list)) cpu_node.emplace_back(cpu, node);
+      }
+    }
+    auto node_of = [&](int cpu) {
+      for (const auto& [c, n] : cpu_node)
+        if (c == cpu) return n;
+      return 0;
+    };
+
+    topology t;
+    detail::id_interner node_ids, package_ids, llc_ids, core_ids;
+    for (int cpu : cpu_ids) {
+      const std::string base = cpu_dir + "/cpu" + std::to_string(cpu);
+      cpu_location loc;
+      loc.cpu = cpu;
+      const int package =
+          detail::read_sysfs_int(base + "/topology/physical_package_id", 0);
+      const int core_id =
+          detail::read_sysfs_int(base + "/topology/core_id", cpu);
+      loc.node = node_ids.get(node_of(cpu));
+      loc.package = package_ids.get(package);
+      // Core ids are only unique within a package; key globally.
+      loc.core = core_ids.get((static_cast<long long>(package) << 32) |
+                              static_cast<unsigned>(core_id));
+      // SMT position: index among the core's sorted thread siblings.
+      std::string sib;
+      loc.smt = 0;
+      if (detail::read_sysfs(base + "/topology/thread_siblings_list", sib) ||
+          detail::read_sysfs(base + "/topology/core_cpus_list", sib)) {
+        auto siblings = parse_cpulist(sib);
+        for (std::size_t i = 0; i < siblings.size(); ++i)
+          if (siblings[i] == cpu) loc.smt = static_cast<int>(i);
+      }
+      // LLC group: the deepest unified/data cache's shared_cpu_list,
+      // keyed by its lowest member.  No cache info -> fall back to the
+      // package (every mainstream package has one LLC).
+      int best_level = -1;
+      long long llc_key = static_cast<long long>(package) | (1ll << 40);
+      for (int idx = 0; idx < 10; ++idx) {
+        const std::string cache =
+            base + "/cache/index" + std::to_string(idx);
+        const int level = detail::read_sysfs_int(cache + "/level", -1);
+        if (level < 0) continue;
+        std::string type;
+        detail::read_sysfs(cache + "/type", type);
+        if (type.find("Instruction") != std::string::npos) continue;
+        std::string shared;
+        if (!detail::read_sysfs(cache + "/shared_cpu_list", shared)) continue;
+        auto members = parse_cpulist(shared);
+        if (members.empty()) continue;
+        if (level > best_level) {
+          best_level = level;
+          llc_key = members.front();
+        }
+      }
+      loc.llc = llc_ids.get(llc_key);
+      t.cpus.push_back(loc);
+    }
+    t.finalize();
+    return t;
+  }
+
+  // The process-wide topology: KEX_TOPOLOGY=synthetic:<n>x<c>x<t> builds a
+  // synthetic machine, any other non-empty value is used as a sysfs root,
+  // unset discovers /sys.
+  static topology from_env() {
+    const char* env = std::getenv("KEX_TOPOLOGY");
+    if (env == nullptr || *env == '\0') return discover();
+    return from_spec(env);
+  }
+
+  // The same spec grammar as KEX_TOPOLOGY, for the benches' --topology
+  // flag: "synthetic:<nodes>x<cores>x<threads>" or a sysfs root path.
+  static topology from_spec(std::string_view spec) {
+    if (spec.empty()) return discover();
+    constexpr std::string_view kSynthetic = "synthetic:";
+    if (spec.substr(0, kSynthetic.size()) == kSynthetic) {
+      // "synthetic:2x8x2" -> nodes x cores-per-node x threads-per-core.
+      int vals[3] = {1, 1, 1};
+      std::size_t at = kSynthetic.size();
+      for (int& val : vals) {
+        std::size_t end = spec.find('x', at);
+        std::string tok(spec.substr(at, end == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : end - at));
+        try {
+          val = std::max(1, std::stoi(tok));
+        } catch (...) {
+          val = 1;
+        }
+        if (end == std::string_view::npos) break;
+        at = end + 1;
+      }
+      return make_synthetic(vals[0], vals[1], vals[2]);
+    }
+    return discover(std::string(spec));
+  }
+
+ private:
+  void finalize() {
+    std::sort(cpus.begin(), cpus.end(),
+              [](const cpu_location& a, const cpu_location& b) {
+                if (a.node != b.node) return a.node < b.node;
+                if (a.package != b.package) return a.package < b.package;
+                if (a.llc != b.llc) return a.llc < b.llc;
+                if (a.core != b.core) return a.core < b.core;
+                if (a.smt != b.smt) return a.smt < b.smt;
+                return a.cpu < b.cpu;
+              });
+    auto count_distinct = [&](auto field) {
+      std::vector<int> seen;
+      for (const auto& c : cpus) seen.push_back(field(c));
+      std::sort(seen.begin(), seen.end());
+      seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+      return std::max<int>(1, static_cast<int>(seen.size()));
+    };
+    nodes = count_distinct([](const cpu_location& c) { return c.node; });
+    packages = count_distinct([](const cpu_location& c) { return c.package; });
+    llcs = count_distinct([](const cpu_location& c) { return c.llc; });
+    cores = count_distinct([](const cpu_location& c) { return c.core; });
+  }
+};
+
+// --- pinning policies ------------------------------------------------------
+
+// How worker threads map onto CPUs (env KEX_PIN):
+//   none     no affinity calls at all (the pre-topology behavior)
+//   compact  fill the hierarchy in order — SMT siblings together, cores
+//            together, one node at a time (minimum cross-node traffic)
+//   scatter  spread across nodes round-robin, distinct cores first
+//            (maximum aggregate cache/bandwidth)
+//   numa     split the pid range into contiguous per-node blocks, compact
+//            within each block — the layout the topology-aware tree
+//            builder assumes (pid neighborhoods = node neighborhoods)
+enum class pin_policy : std::uint8_t { none, compact, scatter, numa };
+
+constexpr const char* to_string(pin_policy p) {
+  switch (p) {
+    case pin_policy::none: return "none";
+    case pin_policy::compact: return "compact";
+    case pin_policy::scatter: return "scatter";
+    case pin_policy::numa: return "numa";
+  }
+  return "?";
+}
+
+inline pin_policy parse_pin_policy(std::string_view s,
+                                   pin_policy fallback = pin_policy::none) {
+  if (s == "none") return pin_policy::none;
+  if (s == "compact") return pin_policy::compact;
+  if (s == "scatter") return pin_policy::scatter;
+  if (s == "numa") return pin_policy::numa;
+  return fallback;
+}
+
+// pid -> logical cpu; empty cpu_of_pid (policy none) means "do not pin".
+struct pin_plan {
+  pin_policy policy = pin_policy::none;
+  std::vector<int> cpu_of_pid;
+
+  bool empty() const { return cpu_of_pid.empty(); }
+  int cpu_for(int pid) const {
+    if (pid < 0 || pid >= static_cast<int>(cpu_of_pid.size())) return -1;
+    return cpu_of_pid[static_cast<std::size_t>(pid)];
+  }
+};
+
+// Deterministic pid -> cpu assignment for `n` pids under `policy`.  More
+// pids than CPUs wrap around (oversubscription keeps its locality
+// structure; pid and pid+cpu_count share a cpu).
+inline pin_plan make_pin_plan(const topology& topo, pin_policy policy,
+                              int n) {
+  pin_plan plan;
+  plan.policy = policy;
+  if (policy == pin_policy::none || topo.cpu_count() == 0 || n <= 0)
+    return plan;
+  plan.cpu_of_pid.reserve(static_cast<std::size_t>(n));
+
+  switch (policy) {
+    case pin_policy::none:
+      break;
+    case pin_policy::compact:
+      // topo.cpus is already in hierarchy order.
+      for (int pid = 0; pid < n; ++pid)
+        plan.cpu_of_pid.push_back(
+            topo.cpus[static_cast<std::size_t>(pid) %
+                      topo.cpus.size()].cpu);
+      break;
+    case pin_policy::scatter: {
+      // Per-node queues ordered distinct-cores-first (smt as the major
+      // key), consumed round-robin across nodes.
+      std::vector<std::vector<int>> per_node(
+          static_cast<std::size_t>(topo.nodes));
+      std::vector<cpu_location> order = topo.cpus;
+      std::stable_sort(order.begin(), order.end(),
+                       [](const cpu_location& a, const cpu_location& b) {
+                         return a.smt < b.smt;
+                       });
+      for (const auto& c : order)
+        per_node[static_cast<std::size_t>(c.node)].push_back(c.cpu);
+      std::vector<std::size_t> cursor(per_node.size(), 0);
+      int node = 0;
+      for (int pid = 0; pid < n; ++pid) {
+        // Find the next node with CPUs (all nodes have some by
+        // construction; this guards degenerate trees).
+        for (int tries = 0; tries < topo.nodes; ++tries) {
+          auto& q = per_node[static_cast<std::size_t>(node)];
+          if (!q.empty()) {
+            plan.cpu_of_pid.push_back(
+                q[cursor[static_cast<std::size_t>(node)]++ % q.size()]);
+            break;
+          }
+          node = (node + 1) % topo.nodes;
+        }
+        node = (node + 1) % topo.nodes;
+      }
+      break;
+    }
+    case pin_policy::numa: {
+      // Contiguous pid blocks per node: pid block j -> node j, compact
+      // within the node.  Block sizes are balanced (first n % nodes
+      // blocks get one extra pid).
+      for (int pid = 0; pid < n; ++pid) {
+        const int node = std::min(
+            topo.nodes - 1,
+            static_cast<int>((static_cast<long long>(pid) * topo.nodes) /
+                             n));
+        auto cpus = topo.node_cpus(node);
+        // Position within this node's pid block.
+        const int block_begin =
+            static_cast<int>((static_cast<long long>(node) * n +
+                              topo.nodes - 1) / topo.nodes);
+        const int offset = pid - block_begin;
+        plan.cpu_of_pid.push_back(
+            cpus[static_cast<std::size_t>(std::max(0, offset)) %
+                 cpus.size()]);
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+// Apply an affinity to the calling thread.  Best effort: returns false
+// (and changes nothing) off Linux, for cpu < 0, or when the kernel
+// rejects the mask (e.g. a synthetic-topology cpu that does not exist —
+// the CI smoke path exercises exactly that).
+inline bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+// --- process-wide defaults (same pattern as platform/wait.h) ---------------
+
+namespace detail {
+inline topology& mutable_global_topology() {
+  static topology topo = topology::from_env();
+  return topo;
+}
+inline pin_policy& mutable_global_pin_policy() {
+  static pin_policy policy = [] {
+    const char* env = std::getenv("KEX_PIN");
+    return env != nullptr ? parse_pin_policy(env) : pin_policy::none;
+  }();
+  return policy;
+}
+}  // namespace detail
+
+// The topology and pin policy harness code defaults to.  Not synchronized:
+// configure before worker threads start (benches set them while parsing
+// flags; servers once at startup via the environment).
+inline const topology& global_topology() {
+  return detail::mutable_global_topology();
+}
+inline void set_global_topology(topology t) {
+  detail::mutable_global_topology() = std::move(t);
+}
+inline pin_policy global_pin_policy() {
+  return detail::mutable_global_pin_policy();
+}
+inline void set_global_pin_policy(pin_policy p) {
+  detail::mutable_global_pin_policy() = p;
+}
+
+// The plan run_workers (and the benches) apply by default.
+inline pin_plan default_pin_plan(int n) {
+  return make_pin_plan(global_topology(), global_pin_policy(), n);
+}
+
+}  // namespace kex

@@ -101,22 +101,29 @@ bool bench_json::write(const std::string& path) const {
 }
 
 std::string bench_json::consume_json_flag(int& argc, char** argv) {
-  std::string path;
+  return consume_flag(argc, argv, "json");
+}
+
+std::string bench_json::consume_flag(int& argc, char** argv,
+                                     const std::string& name) {
+  const std::string bare = "--" + name;
+  const std::string eq = bare + "=";
+  std::string value;
   int w = 1;
   for (int r = 1; r < argc; ++r) {
     std::string arg = argv[r];
-    if (arg == "--json" && r + 1 < argc) {
-      path = argv[++r];
+    if (arg == bare && r + 1 < argc) {
+      value = argv[++r];
       continue;
     }
-    if (arg.rfind("--json=", 0) == 0) {
-      path = arg.substr(7);
+    if (arg.rfind(eq, 0) == 0) {
+      value = arg.substr(eq.size());
       continue;
     }
     argv[w++] = argv[r];
   }
   argc = w;
-  return path;
+  return value;
 }
 
 }  // namespace kex

@@ -71,6 +71,12 @@ class bench_json {
   // the file path, or "" if the flag is absent.
   static std::string consume_json_flag(int& argc, char** argv);
 
+  // Same extraction for an arbitrary `--<name> <value>` / `--<name>=<value>`
+  // flag — how the benches take --pin and --topology without teaching
+  // google-benchmark about them.  Returns "" if absent.
+  static std::string consume_flag(int& argc, char** argv,
+                                  const std::string& name);
+
  private:
   std::string bench_name_;
   std::vector<std::pair<std::string, std::string>> labels_;

@@ -2,21 +2,26 @@
 // threads.
 //
 // `process_set<P>` owns the N proc contexts; `run_workers` launches one
-// thread per listed process, releases them through a start gate (so
-// measurement intervals begin with all processes live), runs the supplied
-// body, and joins.  A body unwound by `process_failed` marks the worker
-// crashed and exits the thread — the other workers keep running, which is
-// precisely the progress property the failure-injection tests assert.
+// thread per listed process, pins each to the CPU the active pin plan
+// assigns its pid (see platform/topology.h; policy from KEX_PIN), releases
+// them through a start gate (so measurement intervals begin with all
+// processes live), runs the supplied body, and joins.  A body unwound by
+// `process_failed` marks the worker crashed and exits the thread — the
+// other workers keep running, which is precisely the progress property the
+// failure-injection tests assert.
 #pragma once
 
 #include <atomic>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/cacheline.h"
 #include "common/check.h"
 #include "platform/platform.h"
+#include "platform/topology.h"
 
 namespace kex {
 
@@ -55,36 +60,67 @@ struct run_result {
   int completed = 0;  // workers that ran their body to completion
 };
 
-// Runs body(proc) on one thread per pid in `pids`.  The body may throw
-// process_failed (failure injection) — counted, not propagated.  Any other
-// exception propagates after all threads are joined.
+// Runs body(proc) on one thread per pid in `pids`, each pinned per `plan`
+// (an empty plan pins nothing).  The body may throw process_failed
+// (failure injection) — counted, not propagated.  Any other exception
+// propagates after all threads are joined.
+//
+// Each worker records its outcome in a private cacheline-padded slot,
+// summed after the join, instead of fetch_add on shared counters: the old
+// `crashed`/`completed` atomics sat on one line that every finishing
+// worker bounced — measurement-harness traffic polluting the interference
+// the benchmarks try to isolate.
 template <Platform P, class Body>
 run_result run_workers(process_set<P>& procs, const std::vector<int>& pids,
-                       Body body) {
+                       Body body, const pin_plan& plan) {
   start_gate gate;
-  std::atomic<int> crashed{0}, completed{0};
+  struct outcome {
+    bool crashed = false;
+    bool completed = false;
+    std::exception_ptr error;
+  };
+  std::vector<padded<outcome>> slots(pids.size());
   std::vector<std::thread> threads;
-  std::exception_ptr first_error;
-  std::atomic<bool> has_error{false};
 
   threads.reserve(pids.size());
-  for (int pid : pids) {
-    threads.emplace_back([&, pid] {
+  for (std::size_t w = 0; w < pids.size(); ++w) {
+    const int pid = pids[w];
+    outcome& mine = slots[w].value;
+    threads.emplace_back([&procs, &gate, &body, &mine, &plan, pid] {
+      // Pin before the gate so placement is settled when the measurement
+      // window opens.  Best effort: an invalid/offline CPU is ignored.
+      const int cpu = plan.cpu_for(pid);
+      if (cpu >= 0) pin_current_thread(cpu);
       gate.wait();
       try {
         body(procs[pid]);
-        completed.fetch_add(1, std::memory_order_relaxed);
+        mine.completed = true;
       } catch (const process_failed&) {
-        crashed.fetch_add(1, std::memory_order_relaxed);
+        mine.crashed = true;
       } catch (...) {
-        if (!has_error.exchange(true)) first_error = std::current_exception();
+        mine.error = std::current_exception();
       }
     });
   }
   gate.open();
   for (auto& t : threads) t.join();
-  if (has_error.load()) std::rethrow_exception(first_error);
-  return run_result{crashed.load(), completed.load()};
+  run_result r;
+  for (const auto& s : slots) {
+    if (s.value.error) std::rethrow_exception(s.value.error);
+    r.crashed += s.value.crashed ? 1 : 0;
+    r.completed += s.value.completed ? 1 : 0;
+  }
+  return r;
+}
+
+// Default plan: policy from KEX_PIN applied to the discovered (or
+// KEX_TOPOLOGY-synthesized) machine, sized to the owning process set so
+// pid -> CPU is stable across runs that use subsets of the pids.
+template <Platform P, class Body>
+run_result run_workers(process_set<P>& procs, const std::vector<int>& pids,
+                       Body body) {
+  return run_workers(procs, pids, std::move(body),
+                     default_pin_plan(procs.size()));
 }
 
 // Convenience: all pids 0..n-1.

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cacheline.h"
 #include "common/check.h"
 #include "platform/sim.h"
 #include "runtime/cs_monitor.h"
@@ -62,10 +63,13 @@ rmr_result measure_rmr(KEx& alg, int c, int iterations, cost_model model,
     std::uint64_t sum_pair = 0;
     std::uint64_t pairs = 0;
   };
-  std::vector<per_proc> stats(static_cast<std::size_t>(c));
+  // Padded: adjacent 24-byte entries would otherwise share lines across
+  // workers, and the harness updates its entry once per measured pair —
+  // meter-induced interference inside the measurement window.
+  std::vector<padded<per_proc>> stats(static_cast<std::size_t>(c));
 
   run_workers<sim_platform>(procs, first_pids(c), [&](sim_platform::proc& p) {
-    auto& mine = stats[static_cast<std::size_t>(p.id)];
+    auto& mine = stats[static_cast<std::size_t>(p.id)].value;
     for (int it = 0; it < iterations; ++it) {
       const std::uint64_t before = p.counters().remote;
       alg.acquire(p);
@@ -83,7 +87,7 @@ rmr_result measure_rmr(KEx& alg, int c, int iterations, cost_model model,
   rmr_result out;
   std::uint64_t sum = 0;
   for (int pid = 0; pid < c; ++pid) {
-    const auto& s = stats[static_cast<std::size_t>(pid)];
+    const auto& s = stats[static_cast<std::size_t>(pid)].value;
     out.max_pair = std::max(out.max_pair, s.max_pair);
     sum += s.sum_pair;
     out.pairs += s.pairs;

@@ -27,6 +27,7 @@
 // shards never notice.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <concepts>
 #include <cstdint>
@@ -37,6 +38,8 @@
 #include "common/cacheline.h"
 #include "common/check.h"
 #include "kex/any_kex.h"
+#include "kex/arena_layout.h"
+#include "platform/topology.h"
 #include "service/session_registry.h"
 
 namespace kex {
@@ -63,6 +66,7 @@ struct lock_shard_stats {
   std::uint64_t crashes = 0;    // holders that crashed in their CS
   int max_occupancy = 0;        // peak concurrent holders (<= k always)
   int occupancy = 0;            // current holders, crashed ones included
+  int home_node = 0;            // NUMA node this shard's state targets
 };
 
 // Whole-table sample: per-shard rows plus totals.
@@ -87,9 +91,14 @@ class lock_table {
   using proc = typename P::proc;
 
   // Per-shard state, cache-line separated so one hot shard's bookkeeping
-  // never false-shares with its neighbours.
+  // never false-shares with its neighbours.  `home_node` records the NUMA
+  // node the shard's spin state is meant to stay resident on: shards are
+  // dealt round the machine's nodes in contiguous runs, mirroring the
+  // `numa` pin policy's pid blocks, so a session pinned to node m that
+  // mostly touches keys of shards homed there spins node-locally.
   struct alignas(cacheline_size) shard {
     any_kex<P> kex;
+    int home_node = 0;
     std::atomic<std::uint64_t> acquires{0};
     std::atomic<std::uint64_t> fast_hits{0};
     std::atomic<std::uint64_t> crashes{0};
@@ -101,9 +110,22 @@ class lock_table {
   // `algorithm` is any make_kex catalog name; n is the pid space (the
   // session registry's capacity), k the per-shard concurrency bound.
   lock_table(int shards, std::string_view algorithm, int n, int k)
-      : shards_(static_cast<std::size_t>(shards)), n_(n), k_(k) {
+      : n_(n), k_(k) {
     KEX_CHECK_MSG(shards >= 1, "lock_table requires at least one shard");
-    for (auto& s : shards_) s.kex = make_kex<P>(algorithm, n, k);
+    // One contiguous interference-aligned arena for all shard headers
+    // (the any_kex payloads hang off them): probing shard i never drags
+    // a neighbour's header line along.
+    const int nodes = std::max(1, global_topology().nodes);
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+      shard& s = shards_.emplace_back();
+      s.kex = make_kex<P>(algorithm, n, k);
+      // Same contiguous-block split as make_pin_plan's numa policy:
+      // shard i -> node floor(i * nodes / shards).
+      s.home_node = std::min(
+          nodes - 1, static_cast<int>((static_cast<long long>(i) * nodes) /
+                                      shards));
+    }
   }
 
   lock_table(const lock_table&) = delete;
@@ -203,6 +225,7 @@ class lock_table {
       row.crashes = s.crashes.load(std::memory_order_relaxed);
       row.max_occupancy = s.max_occupancy.load(std::memory_order_relaxed);
       row.occupancy = s.occupancy.load(std::memory_order_relaxed);
+      row.home_node = s.home_node;
       out.shards.push_back(row);
     }
     return out;
@@ -225,7 +248,7 @@ class lock_table {
     return guard(&s, &p);
   }
 
-  std::vector<shard> shards_;
+  arena_vector<shard> shards_;
   int n_, k_;
 };
 

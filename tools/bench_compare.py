@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Compare bench_json outputs against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+    bench_compare.py --tolerance 0.10 --time-tolerance 0.35 BASELINE.json ...
+
+BASELINE.json is either a single bench_json object or the aggregate
+format committed as BENCH_BASELINE.json:
+
+    {"schema": 1, "machine": "...", "benches": {"bench_scaling": {...}}}
+
+Each CURRENT file is one bench_json object (as written by a bench's
+--json flag); it is matched to the baseline entry of the same "bench"
+name.  Records are matched by name, metrics by key.
+
+Metrics are compared direction-aware:
+  * lower-is-better  (times, RMR counts, imbalance): fail when current
+    exceeds baseline by more than the tolerance.
+  * higher-is-better (ops/items per second, rates): fail when current
+    falls short of baseline by more than the tolerance.
+  * context metrics  (iterations, shard/thread counts): never compared.
+
+Two tolerances, because the repo gates two kinds of numbers:
+  * deterministic metrics (simulated RMR counts) use --tolerance
+    (default 0.10) — these should be byte-stable, the slack only
+    forgives scheduling-dependent maxima;
+  * wall-clock metrics (`*_ns_per_op`, `*_per_second`, rates) use
+    --time-tolerance (default 0.35) — shared CI runners are noisy, and
+    a regression that clears 35% is real on any machine.
+
+Exit status: 0 when everything holds, 1 on any regression, 2 on usage
+or schema errors.  Records or metrics present only on one side are
+reported but never fail the gate (benches grow across PRs).
+"""
+
+import argparse
+import json
+import sys
+
+# Substrings classifying a metric's direction.  Checked in order:
+# context first, then lower-better, then higher-better; unknown metrics
+# are skipped with a note (a new metric should be classified here).
+CONTEXT = ("iterations", "shards", "threads", "max_occupancy", "fast_hit")
+LOWER_BETTER = ("_ns_per_op", "time", "_rmr", "imbalance", "remote")
+HIGHER_BETTER = ("per_second", "_rate", "throughput")
+
+WALLCLOCK = ("_ns_per_op", "time", "per_second", "throughput")
+
+
+def classify(name):
+    low = name.lower()
+    if any(s in low for s in CONTEXT):
+        return "context"
+    if any(s in low for s in LOWER_BETTER):
+        return "lower"
+    if any(s in low for s in HIGHER_BETTER):
+        return "higher"
+    return "unknown"
+
+
+def is_wallclock(name):
+    low = name.lower()
+    return any(s in low for s in WALLCLOCK)
+
+
+def records_by_name(bench_obj):
+    out = {}
+    for rec in bench_obj.get("records", []):
+        out[rec["name"]] = rec.get("metrics", {})
+    return out
+
+
+def load_baseline(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "benches" in data:  # aggregate BENCH_BASELINE.json
+        return dict(data["benches"])
+    if "bench" in data:  # a single bench_json object
+        return {data["bench"]: data}
+    raise ValueError(f"{path}: neither an aggregate baseline nor a "
+                     "bench_json object")
+
+
+def compare(bench, base_obj, cur_obj, tol, time_tol, report):
+    base = records_by_name(base_obj)
+    cur = records_by_name(cur_obj)
+    regressions = 0
+    compared = 0
+
+    for name in base:
+        if name not in cur:
+            report(f"  note: {bench}/{name}: record missing from current "
+                   "run (renamed or removed?)")
+            continue
+        for metric, bval in base[name].items():
+            if metric not in cur[name]:
+                report(f"  note: {bench}/{name}: metric {metric} missing")
+                continue
+            cval = cur[name][metric]
+            if bval is None or cval is None:
+                continue
+            kind = classify(metric)
+            if kind == "context":
+                continue
+            if kind == "unknown":
+                report(f"  note: {bench}/{name}: metric {metric} has no "
+                       "direction rule; skipped")
+                continue
+            compared += 1
+            allowed = time_tol if is_wallclock(metric) else tol
+            if bval == 0:
+                # A zero baseline (e.g. wasted remote refs) must stay zero
+                # for lower-better metrics; higher-better can only improve.
+                bad = kind == "lower" and cval > 0
+                delta_txt = f"{bval} -> {cval}"
+            elif kind == "lower":
+                delta = (cval - bval) / abs(bval)
+                bad = delta > allowed
+                delta_txt = f"{bval:g} -> {cval:g} (+{delta * 100:.1f}%)"
+            else:
+                delta = (bval - cval) / abs(bval)
+                bad = delta > allowed
+                delta_txt = f"{bval:g} -> {cval:g} (-{delta * 100:.1f}%)"
+            if bad:
+                regressions += 1
+                report(f"  REGRESSION: {bench}/{name}: {metric} "
+                       f"{delta_txt} exceeds {allowed * 100:.0f}% tolerance")
+    new_records = sorted(set(cur) - set(base))
+    if new_records:
+        report(f"  note: {bench}: {len(new_records)} record(s) not in "
+               "baseline (new coverage, not compared)")
+    return regressions, compared
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current", nargs="+")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative slack for deterministic metrics")
+    ap.add_argument("--time-tolerance", type=float, default=0.35,
+                    help="relative slack for wall-clock metrics")
+    args = ap.parse_args()
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"bench_compare: bad baseline: {e}", file=sys.stderr)
+        return 2
+
+    total_regressions = 0
+    total_compared = 0
+    for path in args.current:
+        try:
+            with open(path) as f:
+                cur_obj = json.load(f)
+            bench = cur_obj["bench"]
+        except (OSError, KeyError, json.JSONDecodeError) as e:
+            print(f"bench_compare: bad current file {path}: {e}",
+                  file=sys.stderr)
+            return 2
+        if bench not in baseline:
+            print(f"{bench}: no baseline entry (new bench, not compared)")
+            continue
+        print(f"{bench}: comparing against baseline")
+        r, c = compare(bench, baseline[bench], cur_obj, args.tolerance,
+                       args.time_tolerance, print)
+        total_regressions += r
+        total_compared += c
+
+    print(f"bench_compare: {total_compared} metric(s) compared, "
+          f"{total_regressions} regression(s)")
+    return 1 if total_regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
