@@ -23,6 +23,7 @@
 
 #include "platform/topology.h"
 #include "runtime/bench_json.h"
+#include "runtime/latency_histogram.h"
 #include "runtime/rmr_report.h"
 #include "service/lock_table.h"
 #include "service/session_registry.h"
@@ -63,12 +64,23 @@ struct run_out {
   double fast_hit_rate = 0;
   double imbalance = 0;
   int max_occupancy = 0;
+  // Per-acquire latency percentiles (steady_clock around table.acquire,
+  // one histogram per worker, merged after the join — see
+  // runtime/latency_histogram.h).
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_p999_ns = 0;
 };
 
-run_out run_once(int shards, bool zipf) {
+// `algorithm` is any make_kex catalog name the shards should run —
+// "cc_fast" is the service default; "hybrid" exercises the combining
+// slow path under the full session-attach service stack.
+run_out run_once(int shards, bool zipf, const std::string& algorithm) {
   kex::session_registry<real> registry(THREADS, kex::cost_model::none);
-  kex::lock_table<real> table(shards, "cc_fast", THREADS, K);
+  kex::lock_table<real> table(shards, algorithm, THREADS, K);
   zipf_sampler zdist(KEYS, ZIPF_S);
+  std::vector<kex::latency_histogram> hists(
+      static_cast<std::size_t>(THREADS));
 
   // Workers pin per the active plan (--pin / KEX_PIN) before attaching,
   // so session pids inherit the placement the shard home_node layout and
@@ -83,12 +95,18 @@ run_out run_once(int shards, bool zipf) {
       auto session = registry.attach();
       std::mt19937_64 rng(static_cast<std::uint64_t>(t) * 0x9e3779b9u + 1);
       std::uniform_real_distribution<double> uni(0.0, 1.0);
+      auto& hist = hists[static_cast<std::size_t>(t)];
       std::uint64_t sink = 0;
       for (int i = 0; i < OPS_PER_THREAD; ++i) {
         std::uint64_t key =
             zipf ? static_cast<std::uint64_t>(zdist(uni(rng)))
                  : (rng() % KEYS);
+        const auto acq0 = std::chrono::steady_clock::now();
         auto g = table.acquire(session, key);
+        hist.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - acq0)
+                .count()));
         // A short critical section: a few dependent mixes, no sharing.
         sink = sink * 6364136223846793005ull + key + 1;
         sink ^= sink >> 33;
@@ -109,6 +127,11 @@ run_out run_once(int shards, bool zipf) {
                       static_cast<double>(stats.total_acquires());
   out.imbalance = stats.imbalance();
   out.max_occupancy = stats.max_occupancy();
+  kex::latency_histogram all;
+  for (const auto& h : hists) all.merge(h);
+  out.latency_p50_ns = all.percentile(50);
+  out.latency_p99_ns = all.percentile(99);
+  out.latency_p999_ns = all.percentile(99.9);
   return out;
 }
 
@@ -136,25 +159,44 @@ int main(int argc, char** argv) {
             << " keys, k=" << K << " per shard, " << OPS_PER_THREAD
             << " acquire/release per thread\n\n";
 
-  kex::table t({"shards", "skew", "Mops/s", "fast-hit %", "imbalance",
-                "max occ"});
-  for (bool zipf : {false, true}) {
-    for (int shards : {1, 2, 4, 8, 16}) {
-      auto r = run_once(shards, zipf);
-      const char* skew = zipf ? "zipf" : "uniform";
-      t.add_row({std::to_string(shards), skew,
-                 kex::fmt_fixed(r.ops_per_sec / 1e6, 2),
-                 kex::fmt_fixed(100.0 * r.fast_hit_rate, 1),
-                 kex::fmt_fixed(r.imbalance, 2),
-                 std::to_string(r.max_occupancy)});
-      out.add("lock_table/shards:" + std::to_string(shards) +
-              "/skew:" + skew)
-          .label("skew", skew)
-          .metric("shards", shards)
-          .metric("ops_per_second", r.ops_per_sec)
-          .metric("fast_hit_rate", r.fast_hit_rate)
-          .metric("imbalance", r.imbalance)
-          .metric("max_occupancy", r.max_occupancy);
+  kex::table t({"alg", "shards", "skew", "Mops/s", "fast-hit %",
+                "imbalance", "max occ", "p50 ns", "p99 ns"});
+  struct config {
+    const char* algorithm;
+    std::vector<int> shard_counts;
+  };
+  // cc_fast keeps the full historical sweep; the hybrid rides the corner
+  // points (the middle shard counts interpolate).
+  const config configs[] = {{"cc_fast", {1, 2, 4, 8, 16}},
+                            {"hybrid", {1, 4, 16}}};
+  for (const auto& cfg : configs) {
+    for (bool zipf : {false, true}) {
+      for (int shards : cfg.shard_counts) {
+        auto r = run_once(shards, zipf, cfg.algorithm);
+        const char* skew = zipf ? "zipf" : "uniform";
+        t.add_row({cfg.algorithm, std::to_string(shards), skew,
+                   kex::fmt_fixed(r.ops_per_sec / 1e6, 2),
+                   kex::fmt_fixed(100.0 * r.fast_hit_rate, 1),
+                   kex::fmt_fixed(r.imbalance, 2),
+                   std::to_string(r.max_occupancy),
+                   kex::fmt_u64(r.latency_p50_ns),
+                   kex::fmt_u64(r.latency_p99_ns)});
+        out.add(std::string("lock_table/alg:") + cfg.algorithm +
+                "/shards:" + std::to_string(shards) + "/skew:" + skew)
+            .label("skew", skew)
+            .label("alg", cfg.algorithm)
+            .metric("shards", shards)
+            .metric("ops_per_second", r.ops_per_sec)
+            .metric("fast_hit_rate", r.fast_hit_rate)
+            .metric("imbalance", r.imbalance)
+            .metric("max_occupancy", r.max_occupancy)
+            .metric("acquire_latency_p50_ns",
+                    static_cast<double>(r.latency_p50_ns))
+            .metric("acquire_latency_p99_ns",
+                    static_cast<double>(r.latency_p99_ns))
+            .metric("acquire_latency_p999_ns",
+                    static_cast<double>(r.latency_p999_ns));
+      }
     }
   }
   t.print(std::cout);

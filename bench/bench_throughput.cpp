@@ -11,6 +11,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <thread>
@@ -20,11 +22,14 @@
 #include "baselines/bakery_kex.h"
 #include "baselines/os_primitives.h"
 #include "kex/algorithms.h"
+#include "kex/hybrid_kex.h"
 #include "platform/topology.h"
 #include "platform/wait.h"
 #include "renaming/k_assignment.h"
 #include "resilient/resilient.h"
 #include "runtime/bench_json.h"
+#include "runtime/latency_histogram.h"
+#include "runtime/rmr_meter.h"
 
 namespace {
 
@@ -84,6 +89,18 @@ void bench_alg_heavy_oversub(benchmark::State& state) {
   cycle(state, instance);
 }
 
+// Extreme oversubscription (64 threads per hardware thread): the
+// combining slow path's home regime.  Nearly every release finds a
+// queued successor, so the hybrid serves whole segments per tree walk
+// while the pure tree still charges every acquire the full ascent.
+const int extreme_oversub_threads = 4 * heavy_oversub_threads;
+
+template <class Alg>
+void bench_alg_extreme_oversub(benchmark::State& state) {
+  static Alg instance(extreme_oversub_threads, K);
+  cycle(state, instance);
+}
+
 }  // namespace
 
 BENCHMARK_TEMPLATE(bench_alg, kex::cc_inductive<real>)
@@ -99,6 +116,10 @@ BENCHMARK_TEMPLATE(bench_alg, kex::cc_fast<real>)
     ->Threads(K)
     ->Threads(N);
 BENCHMARK_TEMPLATE(bench_alg, kex::cc_graceful<real>)
+    ->Threads(1)
+    ->Threads(K)
+    ->Threads(N);
+BENCHMARK_TEMPLATE(bench_alg, kex::hybrid_kex<real>)
     ->Threads(1)
     ->Threads(K)
     ->Threads(N);
@@ -211,6 +232,9 @@ BENCHMARK_TEMPLATE(bench_alg_oversub, kex::cc_fast<real>)
 BENCHMARK_TEMPLATE(bench_alg_oversub, kex::cc_graceful<real>)
     ->Threads(oversub_threads)
     ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_oversub, kex::hybrid_kex<real>)
+    ->Threads(oversub_threads)
+    ->UseRealTime();
 BENCHMARK_TEMPLATE(bench_alg_oversub, kex::dsm_bounded<real>)
     ->Threads(oversub_threads)
     ->UseRealTime();
@@ -227,8 +251,24 @@ BENCHMARK_TEMPLATE(bench_alg_heavy_oversub, kex::cc_inductive<real>)
 BENCHMARK_TEMPLATE(bench_alg_heavy_oversub, kex::cc_fast<real>)
     ->Threads(heavy_oversub_threads)
     ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_heavy_oversub, kex::hybrid_kex<real>)
+    ->Threads(heavy_oversub_threads)
+    ->UseRealTime();
 BENCHMARK_TEMPLATE(bench_alg_heavy_oversub, kex::baselines::ticket_kex<real>)
     ->Threads(heavy_oversub_threads)
+    ->UseRealTime();
+
+// The ≥64× head-to-head: the hybrid against the pure tree it wraps (and
+// the fast path for scale), at the thread count where queue segments are
+// longest.
+BENCHMARK_TEMPLATE(bench_alg_extreme_oversub, kex::cc_tree<real>)
+    ->Threads(extreme_oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_extreme_oversub, kex::hybrid_kex<real>)
+    ->Threads(extreme_oversub_threads)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bench_alg_extreme_oversub, kex::cc_fast<real>)
+    ->Threads(extreme_oversub_threads)
     ->UseRealTime();
 
 namespace {
@@ -262,12 +302,106 @@ class json_tee_reporter : public benchmark::ConsoleReporter {
   kex::bench_json* out_;
 };
 
+// Acquire-latency percentiles: every acquire timed with steady_clock
+// into a per-thread log-linear histogram (runtime/latency_histogram.h),
+// merged after the workers join.  The percentiles tell the story the
+// per-op means hide: a queue handoff is one near write (p50), while the
+// tree walks that end each segment — and the parks under churn — live in
+// the p99/p999 tail.
+constexpr int latency_ops_per_thread = 20000;
+
+template <class Alg>
+void latency_row(kex::bench_json& out, const char* alg_name) {
+  Alg alg(N, K);
+  std::vector<kex::latency_histogram> hists(static_cast<std::size_t>(N));
+  const kex::pin_plan plan = kex::default_pin_plan(N);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < N; ++t) {
+    workers.emplace_back([&, t] {
+      const int cpu = plan.cpu_for(t);
+      if (cpu >= 0) kex::pin_current_thread(cpu);
+      real::proc p{t};
+      auto& hist = hists[static_cast<std::size_t>(t)];
+      for (int i = 0; i < latency_ops_per_thread; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        alg.acquire(p);
+        const auto t1 = std::chrono::steady_clock::now();
+        hist.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        benchmark::DoNotOptimize(p.id);
+        alg.release(p);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  kex::latency_histogram all;
+  for (const auto& h : hists) all.merge(h);
+  out.add(std::string("latency/alg:") + alg_name)
+      .label("threads", std::to_string(N))
+      .metric("acquire_latency_p50_ns",
+              static_cast<double>(all.percentile(50)))
+      .metric("acquire_latency_p99_ns",
+              static_cast<double>(all.percentile(99)))
+      .metric("acquire_latency_p999_ns",
+              static_cast<double>(all.percentile(99.9)))
+      .metric("acquire_latency_max_ns", static_cast<double>(all.max()));
+}
+
+// Deterministic amortized-RMR head-to-head, run under the step gate
+// (runtime/rmr_meter.h measure_rmr_stepped) so the numbers are
+// byte-stable: the perf gate runs only this section (--sections
+// amortized) and holds it to the deterministic tolerance.  Both sides get
+// the same leaf placement from the active topology + pin plan, so the
+// only variable is the combining queue.
+void amortized_rows(kex::bench_json& out) {
+  using sim = kex::sim_platform;
+  constexpr int amort_iters = 8;
+  // c = 64 is the ≥64×-oversubscription tier on a single-hardware-thread
+  // machine: every release finds a queued successor, segments run long.
+  for (int c : {8, 64}) {
+    auto plan = kex::make_pin_plan(
+        kex::global_topology(),
+        kex::global_pin_policy() == kex::pin_policy::none
+            ? kex::pin_policy::compact
+            : kex::global_pin_policy(),
+        c);
+    auto leaves =
+        kex::topology_leaf_assignment(kex::global_topology(), plan, c, K);
+    const long budget = 40000000;
+    kex::cc_tree<sim> tree(c, K, c, leaves);
+    const auto rt = kex::measure_rmr_stepped(tree, c, amort_iters,
+                                             kex::cost_model::cc, budget);
+    kex::hybrid_kex<sim> hyb(c, K, c, leaves);
+    const auto rh = kex::measure_rmr_stepped(hyb, c, amort_iters,
+                                             kex::cost_model::cc, budget);
+    const auto st = hyb.stats();
+    out.add("amortized_rmr/alg:tree/c:" + std::to_string(c))
+        .metric("amortized_rmr_per_acquire", rt.mean_pair)
+        .metric("worst_pair_rmr", static_cast<double>(rt.max_pair))
+        .metric("max_occupancy", rt.max_occupancy);
+    out.add("amortized_rmr/alg:hybrid/c:" + std::to_string(c))
+        .metric("amortized_rmr_per_acquire", rh.mean_pair)
+        .metric("worst_pair_rmr", static_cast<double>(rh.max_pair))
+        .metric("handoff_rate", st.handoff_rate())
+        .metric("max_occupancy", rh.max_occupancy);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
   std::string topo_spec = kex::bench_json::consume_flag(argc, argv, "topology");
   std::string pin_spec = kex::bench_json::consume_flag(argc, argv, "pin");
+  // --sections gbench,latency,amortized (default: all three).
+  // `--sections amortized` is the perf-gate configuration: only the
+  // deterministic stepped rows, no wall-clock noise, seconds not minutes.
+  std::string sections = kex::bench_json::consume_flag(argc, argv, "sections");
+  auto want = [&sections](std::string_view s) {
+    return sections.empty() || sections == "all" ||
+           sections.find(s) != std::string::npos;
+  };
   if (!topo_spec.empty())
     kex::set_global_topology(kex::topology::from_spec(topo_spec));
   if (!pin_spec.empty())
@@ -281,6 +415,8 @@ int main(int argc, char** argv) {
   out.label("hardware_threads",
             std::to_string(std::thread::hardware_concurrency()));
   out.label("oversub_threads", std::to_string(oversub_threads));
+  out.label("extreme_oversub_threads",
+            std::to_string(extreme_oversub_threads));
   const auto& topo = kex::global_topology();
   out.label("topology", topo.describe());
   out.label("topology_nodes", std::to_string(topo.nodes));
@@ -289,9 +425,18 @@ int main(int argc, char** argv) {
   out.label("pin_policy",
             std::string(kex::to_string(kex::global_pin_policy())));
 
-  json_tee_reporter reporter(&out);
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (want("gbench")) {
+    json_tee_reporter reporter(&out);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
+
+  if (want("latency")) {
+    latency_row<kex::cc_tree<real>>(out, "cc_tree");
+    latency_row<kex::hybrid_kex<real>>(out, "hybrid");
+    latency_row<kex::cc_fast<real>>(out, "cc_fast");
+  }
+  if (want("amortized")) amortized_rows(out);
 
   if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;

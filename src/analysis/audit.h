@@ -470,6 +470,12 @@ inline std::vector<audit_config> default_audit_matrix() {
   kex_row("dsm_fast", cost_model::dsm, 6, 2, true);      // Theorem 7
   kex_row("dsm_graceful", cost_model::dsm, 6, 2, true);  // Theorem 8
 
+  // The combining slow path: Figure-3 tree entry fused with MCS leaf
+  // queues (kex/hybrid_kex.h).  Both the handoff spin (own status) and
+  // the inherited tree spins must certify local; CC only — see the
+  // hybrid's header on why the DSM blocks are out.
+  kex_row("hybrid", cost_model::cc, 6, 2, true);
+
   // Locally-spinning k=1 locks (both machines: they set spin-var owners).
   kex_row("mcs", cost_model::cc, 4, 1, true);
   kex_row("mcs", cost_model::dsm, 4, 1, true);

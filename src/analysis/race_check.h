@@ -19,7 +19,13 @@
 // variable:
 //
 //   * the set of pairwise-concurrent writers never exceeds k — the paper's
-//     "at most k processes inside their critical sections";
+//     "at most k processes inside their critical sections".  Pairwise
+//     matters: under slot handoff (hybrid_kex's combining queue) a
+//     releaser orders itself only with its successor, so two writers from
+//     one slot's lineage are both unordered with a writer on another slot
+//     yet occupied a single CS slot between them.  The check therefore
+//     sizes the largest antichain among the unordered writers, not the
+//     star around the current write;
 //   * at k = 1, additionally no write-write or read-write pair is
 //     concurrent at all: mutual exclusion makes the object race-free.
 //
@@ -67,6 +73,38 @@ class vector_clock {
  private:
   std::vector<std::uint64_t> t_;
 };
+
+namespace detail {
+// Largest pairwise-concurrent subset (max antichain) of the given clocks.
+// Exhaustive DFS with a size bound: the candidates are already filtered to
+// writers unordered with the current write, so the set is at most the pid
+// space and in practice hovers around k.
+inline int max_antichain_size(const std::vector<const vector_clock*>& cand) {
+  int best = 0;
+  std::vector<const vector_clock*> chosen;
+  auto dfs = [&](auto&& self, std::size_t i) -> void {
+    if (static_cast<int>(chosen.size() + (cand.size() - i)) <= best) return;
+    if (i == cand.size()) {
+      best = std::max(best, static_cast<int>(chosen.size()));
+      return;
+    }
+    bool compatible = true;
+    for (const vector_clock* c : chosen)
+      if (!c->concurrent_with(*cand[i])) {
+        compatible = false;
+        break;
+      }
+    if (compatible) {
+      chosen.push_back(cand[i]);
+      self(self, i + 1);
+      chosen.pop_back();
+    }
+    self(self, i + 1);
+  };
+  dfs(dfs, 0);
+  return best;
+}
+}  // namespace detail
 
 struct race_finding {
   const void* var = nullptr;
@@ -139,16 +177,22 @@ inline race_report check_races(const std::vector<traced_access>& events,
     auto& writes = lasts(last_write, e.var);
     if (is_write_op(e.op)) {
       ++report.data_writes;
-      int concurrent = 0;
+      // Writers unordered with this one.  Each is concurrent with the
+      // current write (this clock carries a fresh local tick no earlier
+      // access can dominate), but they need not be concurrent with each
+      // other — a handoff chain's writers are totally ordered among
+      // themselves.  Occupancy is the largest antichain plus this write.
+      std::vector<const vector_clock*> unordered;
       const last_access* worst = nullptr;
       for (int q = 0; q < options.nprocs; ++q) {
         if (q == e.pid) continue;
         const auto& lw = writes[static_cast<std::size_t>(q)];
         if (lw.valid && !lw.at.leq(clock[pid])) {
-          ++concurrent;
+          unordered.push_back(&lw.at);
           worst = &lw;
         }
       }
+      const int concurrent = detail::max_antichain_size(unordered);
       if (concurrent + 1 > report.max_concurrent_writers)
         report.max_concurrent_writers = concurrent + 1;
       if (concurrent + 1 > options.k) {

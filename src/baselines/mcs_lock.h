@@ -7,17 +7,24 @@
 // implementation exists to measure exactly that gap (bench_spinlock_k1):
 // our k=1 instances vs. MCS.
 //
-// Each process owns a queue node and spins only on its own `locked` flag
-// (local under both cost models — the node is owner-assigned), so MCS is
-// O(1) RMR per acquisition on cache-coherent machines.  It is *not*
-// resilient: a crashed holder (or even a crashed waiter) wedges the queue
-// — the very trade-off the paper's k-exclusion algorithms remove.
+// The queue discipline itself (tail swap, link publication, successor
+// discovery) lives in kex/handoff_queue.h, shared with hybrid_kex's leaf
+// handoff queues; this class contributes only the k=1 protocol on top: a
+// binary status flag handed from releaser to successor.  Each process
+// owns its node and spins only on its own `status` (local under both cost
+// models — the node is owner-assigned), so MCS is O(1) RMR per
+// acquisition on cache-coherent machines.  It is *not* resilient: a
+// crashed holder (or even a crashed waiter) wedges the queue — the very
+// trade-off the paper's k-exclusion algorithms remove.  (mcs_queue's
+// bounded-patience successor claim exists for the hybrid; MCS proper
+// waits unboundedly, as published.)
 #pragma once
 
 #include <vector>
 
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "kex/handoff_queue.h"
 #include "platform/platform.h"
 
 namespace kex::baselines {
@@ -25,48 +32,32 @@ namespace kex::baselines {
 template <Platform P>
 class mcs_lock {
   using proc = typename P::proc;
-  template <class T>
-  using var = typename P::template var<T>;
+  using queue = mcs_queue<P>;
+  using qnode = typename queue::qnode;
 
-  struct qnode {
-    var<int> locked{0};
-    var<qnode*> next{nullptr};
-  };
+  // The k=1 handoff protocol: a waiter publishes `waiting` as it links in,
+  // the releaser hands the lock over by writing `go`.
+  static constexpr int go = 0;
+  static constexpr int waiting = 1;
 
  public:
   mcs_lock(int n, int k = 1, int pid_space = -1) : n_(n) {
     if (pid_space < 0) pid_space = n;
     KEX_CHECK_MSG(k == 1, "mcs_lock is k = 1 only");
     nodes_ = std::vector<padded<qnode>>(static_cast<std::size_t>(pid_space));
-    for (int pid = 0; pid < pid_space; ++pid) {
-      nodes_[static_cast<std::size_t>(pid)].value.locked.set_owner(pid);
-      nodes_[static_cast<std::size_t>(pid)].value.next.set_owner(pid);
-    }
+    for (int pid = 0; pid < pid_space; ++pid)
+      nodes_[static_cast<std::size_t>(pid)].value.set_owner(pid);
   }
 
   void acquire(proc& p) {
     qnode& mine = node(p);
-    mine.next.write(p, nullptr);
-    qnode* pred = tail_.value.exchange(p, &mine);
-    if (pred != nullptr) {
-      mine.locked.write(p, 1);
-      pred->next.write(p, &mine);
-      pred->next.wake_one();  // predecessor may be parked in release()
-      mine.locked.await(p, [](int l) { return l == 0; });  // local spin
-    }
+    if (queue_.value.enqueue(p, mine, waiting) != nullptr)
+      mine.status.await(p, [](int s) { return s == go; });  // local spin
   }
 
   void release(proc& p) {
-    qnode& mine = node(p);
-    qnode* successor = mine.next.read(p);
-    if (successor == nullptr) {
-      if (tail_.value.compare_exchange(p, &mine, nullptr)) return;
-      // Someone is mid-enqueue: wait for the link to appear.
-      successor = mine.next.await(
-          p, [](qnode* s) { return s != nullptr; });
-    }
-    successor->locked.write(p, 0);
-    successor->locked.wake_one();
+    qnode* successor = queue_.value.successor(p, node(p));
+    if (successor != nullptr) wake_successor(successor->status, p, go);
   }
 
   int n() const { return n_; }
@@ -78,7 +69,7 @@ class mcs_lock {
   }
 
   int n_;
-  padded<var<qnode*>> tail_{nullptr};
+  padded<queue> queue_;
   std::vector<padded<qnode>> nodes_;
 };
 

@@ -19,6 +19,7 @@
 #include "baselines/ya_lock.h"
 #include "common/check.h"
 #include "kex/algorithms.h"
+#include "kex/hybrid_kex.h"
 
 namespace kex {
 
@@ -67,9 +68,9 @@ class any_kex {
 inline const std::vector<std::string>& kex_catalog() {
   static const std::vector<std::string> names = {
       "cc_inductive", "cc_tree",      "cc_fast",     "cc_graceful",
-      "dsm_bounded",  "dsm_unbounded", "dsm_tree",   "dsm_fast",
-      "dsm_graceful", "ticket",       "atomic_queue", "bakery",
-      "scan",         "mcs",          "ya",
+      "hybrid",       "dsm_bounded",  "dsm_unbounded", "dsm_tree",
+      "dsm_fast",     "dsm_graceful", "ticket",       "atomic_queue",
+      "bakery",       "scan",         "mcs",          "ya",
   };
   return names;
 }
@@ -85,6 +86,8 @@ any_kex<P> make_kex(std::string_view name, int n, int k) {
   if (name == "cc_fast") return any_kex<P>::template make<cc_fast<P>>(n, k);
   if (name == "cc_graceful")
     return any_kex<P>::template make<cc_graceful<P>>(n, k);
+  if (name == "hybrid")
+    return any_kex<P>::template make<hybrid_kex<P>>(n, k);
   if (name == "dsm_bounded")
     return any_kex<P>::template make<dsm_bounded<P>>(n, k);
   if (name == "dsm_unbounded")

@@ -1,0 +1,112 @@
+// The MCS queue discipline, factored out of the locks that use it.
+//
+// Mellor-Crummey & Scott's queue (reference [12] of the paper) is two
+// separable ideas:
+//
+//   1. a wait-free *enqueue*: reset my node, swap myself into the tail,
+//      and — if I had a predecessor — publish my spin flag and link myself
+//      into its `next` pointer;
+//   2. a *successor discovery* on release: read my `next` link, and when
+//      it is null either swing the tail back to empty (queue was just me)
+//      or wait out the tiny mid-enqueue window until the link appears.
+//
+// What the queue is used *for* — mutual exclusion (mcs_lock hands a
+// binary flag to the successor) or slot handoff under (N,k)-exclusion
+// (hybrid_kex transfers tree admissions down the queue) — lives in the
+// callers.  They own the node storage (per-pid, owner-assigned, padded),
+// the status encoding, and the grant protocol; this header owns only the
+// queue discipline, so the two locks cannot drift apart.
+//
+// Crash-skippability: `successor()` takes a patience bound.  With
+// patience = 0 it reproduces MCS exactly — an unbounded (but local) wait
+// for the mid-enqueue link, correct when processes never fail.  With a
+// finite patience the wait runs through var::await_bounded and gives up
+// after that many reads: a releaser stuck behind an enqueuer that crashed
+// between its tail swap and its link write walks away (returning null)
+// instead of wedging.  The abandoned enqueuer's own wait must then be
+// bounded too, and the caller's status protocol must arbitrate the race
+// (hybrid_kex does, with a CAS on the successor's status).  Both waits
+// are local-spin under either cost model: each side spins on a variable
+// its own pid owns and recently wrote.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "platform/platform.h"
+
+namespace kex {
+
+template <Platform P>
+class mcs_queue {
+  using proc = typename P::proc;
+  template <class T>
+  using var = typename P::template var<T>;
+
+ public:
+  // One process's queue node.  `status` carries the caller's handoff
+  // protocol (mcs_lock: 1 = wait, 0 = go; hybrid_kex: its waiting/self/
+  // retry/granted encoding); `next` is the queue link.  Callers allocate
+  // one node per pid per queue, owner-assigned so both fields are local
+  // to spin on under the DSM cost model.
+  struct qnode {
+    var<int> status{0};
+    var<qnode*> next{nullptr};
+
+    void set_owner(int pid) {
+      status.set_owner(pid);
+      next.set_owner(pid);
+    }
+  };
+
+  // Join the queue.  Returns the predecessor node, or null when `mine`
+  // entered an empty queue and is now its head.
+  //
+  // When a predecessor exists, `pending` is written into mine.status
+  // *before* the link is published — by the time the predecessor can see
+  // us, our spin flag already holds the value its eventual grant will
+  // overwrite.  The head path deliberately writes no status at all: a
+  // head acquires whatever the queue guards by itself, and leaving the
+  // node's stale (never-`pending`) value in place is what lets a caller's
+  // grant CAS reject delivery to a node whose owner is not actually
+  // waiting (see hybrid_kex.h on the reuse/ABA argument).
+  qnode* enqueue(proc& p, qnode& mine, int pending) {
+    mine.next.write(p, nullptr);
+    qnode* pred = tail_.exchange(p, &mine);
+    if (pred != nullptr) {
+      mine.status.write(p, pending);
+      pred->next.write(p, &mine);
+      pred->next.wake_one();  // predecessor may be parked in successor()
+    }
+    return pred;
+  }
+
+  // Find the node to hand off to on release.  Null means "no successor":
+  // either the queue was just `mine` and the tail has been swung back to
+  // empty, or (finite patience only) a mid-enqueue neighbour failed to
+  // link within `patience` reads and has been abandoned — the caller must
+  // then release through its slow path, and the unlinked enqueuer's own
+  // bounded wait gets it unstuck.
+  qnode* successor(proc& p, qnode& mine, std::uint32_t patience = 0) {
+    qnode* s = mine.next.read(p);
+    if (s == nullptr) {
+      if (tail_.compare_exchange(p, &mine, nullptr)) return nullptr;
+      // Someone swapped the tail but has not linked yet: wait for the
+      // link to appear (locally — `next` is ours).
+      auto is_linked = [](qnode* q) { return q != nullptr; };
+      if (patience == 0) {
+        s = mine.next.await(p, is_linked);
+      } else {
+        auto linked = mine.next.await_bounded(p, is_linked, patience);
+        if (!linked) return nullptr;  // enqueuer crashed or stalled
+        s = *linked;
+      }
+    }
+    return s;
+  }
+
+ private:
+  var<qnode*> tail_{nullptr};
+};
+
+}  // namespace kex

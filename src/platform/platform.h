@@ -60,6 +60,14 @@ concept Platform = requires(typename P::proc& p,
   { v.await(p, detail::value_pred{}) } -> std::convertible_to<int>;
   { v.await(p, detail::value_pred{}, wait_opts{}) } -> std::convertible_to<int>;
   { v.await_while(p, 0) } -> std::convertible_to<int>;
+  // Bounded wait (crash-skippable handoffs): an optional-like result —
+  // contextually bool (did the wait satisfy?), dereferenceable to the
+  // satisfying value.  std::optional's explicit operator bool rules out
+  // a convertible_to<bool> return-type requirement.
+  static_cast<bool>(v.await_bounded(p, detail::value_pred{}, std::uint32_t{1}));
+  {
+    *v.await_bounded(p, detail::value_pred{}, std::uint32_t{1})
+  } -> std::convertible_to<int>;
   v.wake_one();
   v.wake_all();
   P::poll(p, detail::state_pred{});

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <type_traits>
 
@@ -129,6 +130,28 @@ struct real_platform {
         if (v != old) return v;
         engine.step([&] { v_.wait(old, std::memory_order_acquire); });
       }
+    }
+
+    // Bounded await: poll until pred holds or `budget` loads have been
+    // spent, whichever comes first (the first load counts; budget < 1
+    // behaves as 1).  Never parks, regardless of policy: std::atomic::wait
+    // has no timeout, a parked thread cannot observe its own deadline, and
+    // the bounded form exists precisely for waits whose writer may have
+    // crashed and will never notify.  The engine still spins/yields per
+    // the global policy, so a bounded wait is a good citizen when
+    // oversubscribed.
+    template <class Pred>
+    std::optional<T> await_bounded(proc&, Pred pred, std::uint32_t budget,
+                                   wait_opts opts = {}) {
+      opts.allow_park = false;
+      T v = v_.load(std::memory_order_acquire);
+      wait_engine engine(opts);
+      for (std::uint32_t reads = 1; !pred(v); ++reads) {
+        if (reads >= budget) return std::nullopt;
+        engine.step([] {});  // never reached: allow_park is off
+        v = v_.load(std::memory_order_acquire);
+      }
+      return v;
     }
 
     // Wake parked awaiters after a write that may satisfy their predicate.

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
@@ -272,6 +273,29 @@ struct sim_platform {
       typename proc::wait_scope wait(p, this);
       T v = read(p);
       while (v == old) {
+        p.spin();
+        wait.next_iteration();
+        v = read(p);
+      }
+      return v;
+    }
+
+    // Bounded await: like await(), but give up after `budget` reads of the
+    // variable (the first read counts; budget < 1 behaves as 1).  Returns
+    // the satisfying value, or std::nullopt once the budget is spent — the
+    // caller then arbitrates the expired wait itself (typically with a CAS
+    // against the writer it was waiting for), which is what makes a queue
+    // handoff crash-skippable: a waiter behind a corpse walks away instead
+    // of wedging.  The loop charges exactly like await(), and a timed-out
+    // episode is still a complete wait episode to the auditor (its final
+    // read simply never observed an enabling write).
+    template <class Pred>
+    std::optional<T> await_bounded(proc& p, Pred pred, std::uint32_t budget,
+                                   wait_opts = {}) {
+      typename proc::wait_scope wait(p, this);
+      T v = read(p);
+      for (std::uint32_t reads = 1; !pred(v); ++reads) {
+        if (reads >= budget) return std::nullopt;
         p.spin();
         wait.next_iteration();
         v = read(p);

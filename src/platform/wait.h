@@ -182,4 +182,18 @@ class wait_engine {
   std::uint32_t rounds_ = 0;
 };
 
+// Queue-handoff notify: publish `value` into the variable one successor is
+// awaiting, then wake it in case its engine reached the park tier.  This
+// is the releasing half of every MCS-style handoff in the library
+// (mcs_lock's unlock, the hybrid tree's leaf queues): the write and the
+// wake belong together — a write without the wake is a missed-wakeup bug
+// under the park policy, and scattering the pair across call sites is how
+// that bug gets written.  Works on either platform's var (sim's wake_one
+// is a no-op).
+template <class Var, class Proc, class T>
+void wake_successor(Var& v, Proc& p, T value) {
+  v.write(p, value);
+  v.wake_one();
+}
+
 }  // namespace kex

@@ -1,0 +1,93 @@
+// Fixed-footprint log-linear latency histogram (the HDR-histogram
+// bucketing scheme, sized for nanosecond acquire latencies).
+//
+// Values are binned into power-of-two major buckets refined by 32 linear
+// sub-buckets, so every recorded value lands within 1/32 ≈ 3% of its
+// bucket's representative — precise enough for p50/p99/p999 reporting,
+// while record() stays a handful of arithmetic instructions and the whole
+// histogram is a flat 16 KiB array.  That footprint is the point: the
+// benches record *every* acquire on the hot path (bench_lock_table,
+// bench_throughput's latency section), where a sorted-sample approach
+// would either truncate the tail or allocate per operation.
+//
+// Not thread-safe by design: keep one histogram per worker thread and
+// merge() after the workers join — recording must not introduce the very
+// cache-line contention the benches are trying to measure around.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace kex {
+
+class latency_histogram {
+  // 32 linear sub-buckets per power-of-two major bucket: values < 32 are
+  // exact; above that, bucket width is value/32.
+  static constexpr int sub_bits = 5;
+  static constexpr std::uint64_t sub_count = 1u << sub_bits;
+  // 64-bit values need at most (64 - sub_bits) major blocks.
+  static constexpr std::size_t bucket_count = sub_count * (65 - sub_bits);
+
+ public:
+  void record(std::uint64_t ns) {
+    ++buckets_[index_of(ns)];
+    ++count_;
+    max_ = std::max(max_, ns);
+  }
+
+  void merge(const latency_histogram& other) {
+    for (std::size_t i = 0; i < bucket_count; ++i)
+      buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+
+  // Value at the q-th percentile (q in [0, 100]): the representative of
+  // the first bucket whose cumulative count reaches q% of the recordings,
+  // clamped to the exact observed maximum (so p999 of a skewless run
+  // never reads above max).  Returns 0 on an empty histogram.
+  std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    const double want_d = q / 100.0 * static_cast<double>(count_);
+    std::uint64_t want =
+        static_cast<std::uint64_t>(want_d) + (want_d > 0 ? 1 : 0);
+    want = std::min(want, count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+      seen += buckets_[i];
+      if (seen >= want) return std::min(representative(i), max_);
+    }
+    return max_;
+  }
+
+ private:
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < sub_count) return static_cast<std::size_t>(v);
+    const int e = std::bit_width(v) - 1;  // v in [2^e, 2^(e+1)), e >= 5
+    const std::uint64_t m = (v >> (e - sub_bits)) & (sub_count - 1);
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(e - sub_bits + 1) << sub_bits) + m);
+  }
+
+  // Midpoint of bucket i (inverse of index_of, plus half a bucket width).
+  static std::uint64_t representative(std::size_t i) {
+    if (i < sub_count) return static_cast<std::uint64_t>(i);
+    const int block = static_cast<int>(i >> sub_bits);  // >= 1
+    const std::uint64_t m = i & (sub_count - 1);
+    const int e = block + sub_bits - 1;
+    const std::uint64_t lo = (sub_count + m) << (e - sub_bits);
+    const std::uint64_t width = std::uint64_t{1} << (e - sub_bits);
+    return lo + width / 2;
+  }
+
+  std::array<std::uint64_t, bucket_count> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace kex

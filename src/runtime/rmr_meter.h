@@ -17,11 +17,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/cacheline.h"
 #include "common/check.h"
 #include "platform/sim.h"
+#include "platform/stepper.h"
 #include "runtime/cs_monitor.h"
 #include "runtime/process_group.h"
 
@@ -105,6 +108,74 @@ rmr_result measure_rmr(KEx& alg, int c, int iterations, cost_model model,
 template <class KEx>
 rmr_result measure_rmr_solo(KEx& alg, int iterations, cost_model model) {
   return measure_rmr(alg, 1, iterations, model);
+}
+
+// Deterministic amortized measurement: the same cycle workload, but run
+// under the step gate's fair round-robin completion (platform/stepper.h)
+// instead of the OS scheduler.  Every shared access is granted in a fixed
+// global order, so the per-pair counts — in particular `mean_pair`, the
+// amortized RMRs per acquire — are byte-stable across runs and machines:
+// the form of number a perf gate can pin at 0% noise tolerance, where
+// free-running means drift with scheduling.  The price is that the
+// interleaving is *one* canonical schedule (maximally contended: everyone
+// advances in lockstep), not a sample of many; use measure_rmr for
+// schedule-sensitive maxima and this for amortized comparisons (the
+// hybrid-vs-tree sweep in bench_scaling/bench_throughput).
+template <class KEx>
+rmr_result measure_rmr_stepped(KEx& alg, int c, int iterations,
+                               cost_model model,
+                               long completion_budget = 4000000) {
+  KEX_CHECK_MSG(c >= 1 && iterations >= 1,
+                "measure_rmr_stepped: bad parameters");
+  struct per_proc {
+    std::uint64_t max_pair = 0;
+    std::uint64_t sum_pair = 0;
+    std::uint64_t pairs = 0;
+    std::uint64_t remote = 0;
+  };
+  std::vector<padded<per_proc>> stats(static_cast<std::size_t>(c));
+  cs_monitor monitor;
+
+  std::vector<std::function<void(sim_platform::proc&)>> scripts;
+  scripts.reserve(static_cast<std::size_t>(c));
+  for (int pid = 0; pid < c; ++pid) {
+    scripts.push_back([&, pid](sim_platform::proc& p) {
+      auto& mine = stats[static_cast<std::size_t>(pid)].value;
+      for (int it = 0; it < iterations; ++it) {
+        const std::uint64_t before = p.counters().remote;
+        alg.acquire(p);
+        monitor.enter();
+        monitor.exit();
+        alg.release(p);
+        const std::uint64_t pair = p.counters().remote - before;
+        mine.max_pair = std::max(mine.max_pair, pair);
+        mine.sum_pair += pair;
+        ++mine.pairs;
+      }
+      mine.remote = p.counters().remote;
+    });
+  }
+  stepped_options opt;
+  opt.completion_budget = completion_budget;
+  opt.model = model;
+  auto outcome = run_stepped(std::move(scripts), {}, opt);
+  KEX_CHECK_MSG(!outcome.deadlocked,
+                "measure_rmr_stepped: run exhausted its budget");
+
+  rmr_result out;
+  std::uint64_t sum = 0;
+  for (int pid = 0; pid < c; ++pid) {
+    const auto& s = stats[static_cast<std::size_t>(pid)].value;
+    out.max_pair = std::max(out.max_pair, s.max_pair);
+    sum += s.sum_pair;
+    out.pairs += s.pairs;
+    out.total_remote += s.remote;
+  }
+  out.mean_pair = out.pairs ? static_cast<double>(sum) /
+                                  static_cast<double>(out.pairs)
+                            : 0.0;
+  out.max_occupancy = monitor.max_occupancy();
+  return out;
 }
 
 }  // namespace kex
