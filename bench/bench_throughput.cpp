@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -25,8 +26,11 @@
 #include "kex/hybrid_kex.h"
 #include "platform/topology.h"
 #include "platform/wait.h"
+#include "kex/any_kex.h"
+#include "platform/cancel.h"
 #include "renaming/k_assignment.h"
 #include "resilient/resilient.h"
+#include "runtime/abort_storm.h"
 #include "runtime/bench_json.h"
 #include "runtime/latency_histogram.h"
 #include "runtime/rmr_meter.h"
@@ -388,15 +392,109 @@ void amortized_rows(kex::bench_json& out) {
   }
 }
 
+// Abort-path tail latency on real hardware: K holder threads park inside
+// the critical section so every slot is taken, then the remaining N-K
+// threads hammer budget-bounded attempts that must abort.  The histogram
+// records only the failed attempts — "how long does giving up take" is
+// the quantity an abortable caller budgets for, and it should be flat
+// (an abort is a backout over already-local state, not a queue wait).
+constexpr int abort_ops_per_thread = 2000;
+
+template <class Alg>
+void abort_latency_row(kex::bench_json& out, const char* alg_name) {
+  Alg alg(N, K);
+  std::atomic<bool> stop{false};
+  std::atomic<int> holding{0};
+  std::vector<std::thread> holders;
+  for (int t = 0; t < K; ++t) {
+    holders.emplace_back([&, t] {
+      real::proc p{t};
+      alg.acquire(p);
+      holding.fetch_add(1, std::memory_order_release);
+      while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+      alg.release(p);
+    });
+  }
+  while (holding.load(std::memory_order_acquire) < K)
+    std::this_thread::yield();
+
+  std::vector<kex::latency_histogram> hists(static_cast<std::size_t>(N - K));
+  std::atomic<std::uint64_t> attempts{0}, aborts{0};
+  const kex::pin_plan plan = kex::default_pin_plan(N);
+  std::vector<std::thread> aborters;
+  for (int t = K; t < N; ++t) {
+    aborters.emplace_back([&, t] {
+      const int cpu = plan.cpu_for(t);
+      if (cpu >= 0) kex::pin_current_thread(cpu);
+      real::proc p{t};
+      auto& hist = hists[static_cast<std::size_t>(t - K)];
+      for (int i = 0; i < abort_ops_per_thread; ++i) {
+        auto tk = kex::cancel_token::with_budget(64);
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool got = alg.acquire_cancellable(p, tk);
+        const auto t1 = std::chrono::steady_clock::now();
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        if (got) {
+          alg.release(p);  // a holder raced us out; don't count the win
+        } else {
+          aborts.fetch_add(1, std::memory_order_relaxed);
+          hist.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        }
+      }
+    });
+  }
+  for (auto& w : aborters) w.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& w : holders) w.join();
+
+  kex::latency_histogram all;
+  for (const auto& h : hists) all.merge(h);
+  out.add(std::string("abort_latency/alg:") + alg_name)
+      .label("threads", std::to_string(N))
+      .metric("abort_latency_p50_ns", static_cast<double>(all.percentile(50)))
+      .metric("abort_latency_p99_ns", static_cast<double>(all.percentile(99)))
+      .metric("abort_latency_max_ns", static_cast<double>(all.max()))
+      .metric("attempts", static_cast<double>(attempts.load()))
+      .metric("aborts", static_cast<double>(aborts.load()));
+}
+
+// Deterministic abort-storm cost rows, the perf-gate half of the abort
+// section: measure_abort_rmr_stepped runs the lockstep schedule with odd
+// pids on budget tokens, so "amortized remote references per attempt,
+// aborts included" is byte-stable and held to the deterministic
+// tolerance by bench_compare.py.
+void abort_rows(kex::bench_json& out) {
+  using sim = kex::sim_platform;
+  for (const char* name :
+       {"cc_inductive", "cc_tree", "cc_fast", "cc_graceful", "hybrid"}) {
+    for (int c : {8, 64}) {
+      auto alg = kex::make_kex<sim>(name, c, K);
+      const auto r = kex::measure_abort_rmr_stepped(
+          alg, c, /*iterations=*/8, kex::cost_model::cc,
+          /*budget=*/2, /*completion_budget=*/40000000);
+      out.add(std::string("abort_rmr/alg:") + name + "/c:" +
+              std::to_string(c))
+          .metric("amortized_rmr_per_attempt", r.amortized_per_attempt)
+          .metric("worst_attempt_rmr", static_cast<double>(r.max_attempt))
+          .metric("attempts", static_cast<double>(r.attempts))
+          .metric("aborts", static_cast<double>(r.aborted))
+          .metric("max_occupancy", r.max_occupancy);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
   std::string topo_spec = kex::bench_json::consume_flag(argc, argv, "topology");
   std::string pin_spec = kex::bench_json::consume_flag(argc, argv, "pin");
-  // --sections gbench,latency,amortized (default: all three).
-  // `--sections amortized` is the perf-gate configuration: only the
-  // deterministic stepped rows, no wall-clock noise, seconds not minutes.
+  // --sections gbench,latency,amortized,abort (default: all four).
+  // `--sections amortized,abort` is the perf-gate configuration: only
+  // the deterministic stepped rows (acquire pairs and budget-bounded
+  // abort attempts), no wall-clock noise, seconds not minutes.
   std::string sections = kex::bench_json::consume_flag(argc, argv, "sections");
   auto want = [&sections](std::string_view s) {
     return sections.empty() || sections == "all" ||
@@ -435,8 +533,13 @@ int main(int argc, char** argv) {
     latency_row<kex::cc_tree<real>>(out, "cc_tree");
     latency_row<kex::hybrid_kex<real>>(out, "hybrid");
     latency_row<kex::cc_fast<real>>(out, "cc_fast");
+    // Abort-path tails live here with the other wall-clock percentiles;
+    // the deterministic abort rows below are the gated half.
+    abort_latency_row<kex::cc_fast<real>>(out, "cc_fast");
+    abort_latency_row<kex::hybrid_kex<real>>(out, "hybrid");
   }
   if (want("amortized")) amortized_rows(out);
+  if (want("abort")) abort_rows(out);
 
   if (!json_path.empty() && !out.write(json_path)) return 1;
   return 0;

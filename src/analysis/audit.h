@@ -84,10 +84,19 @@ struct audit_config {
   // atomicity checkers accept; the race check is skipped (no exact
   // version edges without the stepper).
   bool stepped = true;
+  // Abort-path drive (kexclusion rows only): half the processes attempt
+  // with tight-budget cancel tokens instead of blocking acquires, so the
+  // traces are full of abandoned waits, backouts, and grant-versus-abort
+  // races.  The checkers then certify the abort path itself: local-spin
+  // (an abort must not start busy-waiting remotely), race-free client
+  // data (an aborted attempt must never touch the CS), and
+  // single-variable atomicity.  Requires an abortable algorithm.
+  bool abort_paths = false;
 
   std::string label() const {
     std::ostringstream os;
     os << name << "/" << to_string(model) << "/n" << n << "k" << k;
+    if (abort_paths) os << "/abort";
     return os.str();
   }
 };
@@ -207,10 +216,20 @@ inline audit_row run_audit(const audit_config& cfg) {
         auto data = std::make_shared<sim_platform::var<long>>(0);
         std::vector<std::function<void(sim_platform::proc&)>> scripts;
         for (int pid = 0; pid < cfg.n; ++pid) {
-          scripts.push_back([alg, data, iters = cfg.iterations](
+          // Abort drive: odd pids attempt with a tight spin budget and
+          // only enter the CS when the attempt actually succeeded — the
+          // stepped prefixes park them mid-wait, so many attempts abort
+          // mid-protocol and the backout paths land in the trace.
+          const bool aborter = cfg.abort_paths && pid % 2 == 1;
+          scripts.push_back([alg, data, iters = cfg.iterations, aborter](
                                 sim_platform::proc& p) {
             for (int i = 0; i < iters; ++i) {
-              alg->acquire(p);
+              if (aborter) {
+                cancel_token tk = cancel_token::with_budget(2);
+                if (!alg->acquire_cancellable(p, tk)) continue;
+              } else {
+                alg->acquire(p);
+              }
               long v = data->read(p);
               data->write(p, v + 1);
               alg->release(p);
@@ -475,6 +494,32 @@ inline std::vector<audit_config> default_audit_matrix() {
   // the inherited tree spins must certify local; CC only — see the
   // hybrid's header on why the DSM blocks are out.
   kex_row("hybrid", cost_model::cc, 6, 2, true);
+
+  // Abort-path rows: the same shapes driven with half the processes
+  // attempting under tight-budget cancel tokens (audit_config::
+  // abort_paths).  The theory's claim for the abort extension is that
+  // abandoning an attempt is as disciplined as completing one — the
+  // backout writes are bounded, the abandoned wait episodes stay
+  // local-spin (zero wasted remote references), and no aborted attempt
+  // ever touches the critical section.  A regression in any backout
+  // order (leaked level, orphaned queue node, stranded grant) surfaces
+  // as a deadlock or an occupancy race under these schedules.
+  auto abort_row = [&](std::string name) {
+    audit_config c;
+    c.name = std::move(name);
+    c.kind = audit_kind::kexclusion;
+    c.model = cost_model::cc;
+    c.n = 6;
+    c.k = 2;
+    c.expect_local_spin = true;
+    c.abort_paths = true;
+    m.push_back(std::move(c));
+  };
+  abort_row("cc_inductive");
+  abort_row("cc_tree");
+  abort_row("cc_fast");
+  abort_row("cc_graceful");
+  abort_row("hybrid");
 
   // Locally-spinning k=1 locks (both machines: they set spin-var owners).
   kex_row("mcs", cost_model::cc, 4, 1, true);

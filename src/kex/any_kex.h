@@ -7,6 +7,7 @@
 // its catalog name (the names used across the benches and docs).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -29,6 +30,8 @@ class any_kex {
     virtual ~iface() = default;
     virtual void acquire(typename P::proc&) = 0;
     virtual void release(typename P::proc&) = 0;
+    virtual bool acquire_cancellable(typename P::proc&, cancel_token&) = 0;
+    virtual bool abortable() const = 0;
     virtual int n() const = 0;
     virtual int k() const = 0;
   };
@@ -40,6 +43,19 @@ class any_kex {
     explicit model(Args&&... args) : alg(std::forward<Args>(args)...) {}
     void acquire(typename P::proc& p) override { alg.acquire(p); }
     void release(typename P::proc& p) override { alg.release(p); }
+    bool acquire_cancellable(typename P::proc& p,
+                             cancel_token& tk) override {
+      if constexpr (AbortableKexFor<A, P>) {
+        return alg.acquire_cancellable(p, tk);
+      } else {
+        (void)p;
+        (void)tk;
+        KEX_CHECK_MSG(false,
+                      "acquire_cancellable: algorithm is not abortable "
+                      "(check abortable() first)");
+      }
+    }
+    bool abortable() const override { return AbortableKexFor<A, P>; }
     int n() const override { return alg.n(); }
     int k() const override { return alg.k(); }
   };
@@ -60,9 +76,53 @@ class any_kex {
   int k() const { return impl_->k(); }
   explicit operator bool() const { return impl_ != nullptr; }
 
+  // --- cancellation surface ----------------------------------------------
+  // Available when the wrapped algorithm is abortable (abortable() is
+  // true); calling any of these on a non-abortable algorithm throws
+  // invariant_violation.  All of them return true holding a slot
+  // (release as usual) and false having abandoned the attempt with no
+  // slot held and no protocol state left behind.
+  bool abortable() const { return impl_->abortable(); }
+
+  bool acquire_cancellable(typename P::proc& p, cancel_token& tk) {
+    return impl_->acquire_cancellable(p, tk);
+  }
+
+  // Succeeds iff no waiting (and no tree retry) would have been needed.
+  bool try_acquire(typename P::proc& p) {
+    cancel_token tk = cancel_token::fired_token();
+    return impl_->acquire_cancellable(p, tk);
+  }
+
+  // Give up after `d` of wall-clock waiting.  The deadline is sampled
+  // once per wait probe (cancel_token::tick), so the overshoot is one
+  // scheduling quantum, not one patience window.
+  template <class Rep, class Period>
+  bool acquire_for(typename P::proc& p,
+                   std::chrono::duration<Rep, Period> d) {
+    cancel_token tk = cancel_token::after(d);
+    return impl_->acquire_cancellable(p, tk);
+  }
+
+  bool acquire_until(typename P::proc& p,
+                     cancel_token::clock::time_point deadline) {
+    cancel_token tk = cancel_token::with_deadline(deadline);
+    return impl_->acquire_cancellable(p, tk);
+  }
+
  private:
   std::unique_ptr<iface> impl_;
 };
+
+// The catalog names whose algorithms implement the cancellation surface:
+// the cache-coherent Figure-2/3/4 family plus the hybrid combining path.
+// (The DSM variants spin on per-pid arrays sized for the full protocol;
+// making their hand-positions abortable is future work, and the Table-1
+// baselines are remote-spinning strawmen not worth aborting carefully.)
+inline bool kex_is_abortable(std::string_view name) {
+  return name == "cc_inductive" || name == "cc_tree" || name == "cc_fast" ||
+         name == "cc_graceful" || name == "hybrid";
+}
 
 // Catalog names accepted by make_kex.
 inline const std::vector<std::string>& kex_catalog() {

@@ -33,6 +33,7 @@
 #include "common/cacheline.h"
 #include "common/check.h"
 #include "kex/arena_layout.h"
+#include "platform/cancel.h"
 #include "platform/platform.h"
 
 namespace kex {
@@ -57,6 +58,42 @@ class cc_level {
         q_.value.await_while(p, p.id);            // 5: local spin
       }
     }
+  }
+
+  // Cancellable acquire: returns false iff the wait on Q was abandoned
+  // because `tk` fired, in which case the level is restored exactly as a
+  // release would leave it and nothing is held.
+  //
+  // The abort path IS the release sequence (statements 6-7): the aborter
+  // decremented X at statement 2 and registered as the waiter, so it
+  // occupies the level's overflow slot exactly like a holder does, and
+  // returning it is the same protocol action.  Safety of the stray
+  // Q := p write: a process only waits in this level when X was 0 at its
+  // decrement, i.e. all j slots are consumed and — the level's (j+1)-
+  // concurrency precondition — every other process in scope is a holder.
+  // No other process can be between statements 2 and 5 while the aborter
+  // is, so the write can only be observed by a *future* waiter, which
+  // registers itself (overwriting Q) before it ever reads Q.  If a
+  // releaser's grant (its Q := r at statement 7) races the abort, the
+  // aborter's X++ simply returns the just-granted slot; either order
+  // leaves X at the count of free slots and no process waiting.
+  bool acquire_cancellable(proc& p, cancel_token& tk) {
+    if (x_.value.fetch_add(p, -1) == 0) {         // 2: no slot available
+      q_.value.write(p, p.id);                    // 3: register as waiter
+      q_.value.wake_one();
+      if (x_.value.read(p) < 0) {                 // 4: still none — wait
+        const int me = p.id;
+        auto v = q_.value.await_cancellable(
+            p, [me](int q) { return q != me; }, tk);
+        if (!v) {                                 // abandoned: undo 2-3
+          x_.value.fetch_add(p, 1);
+          q_.value.write(p, p.id);
+          q_.value.wake_one();
+          return false;
+        }
+      }
+    }
+    return true;
   }
 
   void release(proc& p) {
@@ -104,6 +141,27 @@ class cc_inductive {
   void release(proc& p) {
     for (std::size_t i = levels_.size(); i > 0; --i)
       levels_[i - 1].release(p);
+  }
+
+  // Cancellable acquire: walk the levels as acquire() does; if the token
+  // fires while waiting at level i, back out by releasing the i levels
+  // already held, innermost first — the exact reverse of acquisition
+  // order, the same order release() uses.  On return false nothing is
+  // held and every level is in a quiescent state.
+  bool acquire_cancellable(proc& p, cancel_token& tk) {
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (!levels_[i].acquire_cancellable(p, tk)) {
+        for (std::size_t j = i; j > 0; --j) levels_[j - 1].release(p);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Succeeds iff no level would have required waiting.
+  bool try_acquire(proc& p) {
+    cancel_token tk = cancel_token::fired_token();
+    return acquire_cancellable(p, tk);
   }
 
   int n() const { return n_; }

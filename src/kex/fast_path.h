@@ -95,6 +95,47 @@ class fast_path_kex {
     }
   }
 
+  // Cancellable acquire.  An abort in the slow path holds nothing — the
+  // slow path's own backout already ran — so only statements 7-9 of the
+  // exit protocol are needed to return whichever admission (slot or slow
+  // path) the attempt did win; an abort inside the (2k,k) block falls
+  // back to exactly that.  A fast-path admission aborted inside the
+  // block returns its slot by the statement-9 increment, so the fast
+  // lane's capacity is restored and the next arrival can take it.
+  bool acquire_cancellable(proc& p, cancel_token& tk)
+    requires AbortableKexFor<Block, P> && AbortableKexFor<Slow, P>
+  {
+    auto& mine = procs_[static_cast<std::size_t>(p.id)];
+    mine.slow = false;                                          // 1
+    if (x_.value.fetch_dec_floor0(p) == 0) {                    // 2
+      mine.slow = true;                                         // 3
+      mine.slow_hits.store(
+          mine.slow_hits.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      if (!slow_.acquire_cancellable(p, tk)) return false;      // 4
+    } else {
+      mine.fast_hits.store(
+          mine.fast_hits.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+    }
+    if (!block_.acquire_cancellable(p, tk)) {                   // 5
+      if (mine.slow) {                                          // 7
+        slow_.release(p);                                       // 8
+      } else {
+        x_.value.fetch_add(p, 1);                               // 9
+      }
+      return false;
+    }
+    return true;
+  }
+
+  bool try_acquire(proc& p)
+    requires AbortableKexFor<Block, P> && AbortableKexFor<Slow, P>
+  {
+    cancel_token tk = cancel_token::fired_token();
+    return acquire_cancellable(p, tk);
+  }
+
   int n() const { return n_; }
   int k() const { return k_; }
   Slow& slow_path() { return slow_; }
@@ -208,6 +249,47 @@ class graceful_kex {
       stage_at(d).block.release(p);
       stage_at(d).x.value.fetch_add(p, 1);
     }
+  }
+
+  // Cancellable acquire: the descent (saturating counters) never waits,
+  // so the token is only consulted inside blocks.  An abort at nesting
+  // level i unwinds precisely the suffix of release(): the outer blocks
+  // i+1..d-1 already held (outermost-held first, release() order), then
+  // the innermost admission — the stage-d block plus its slot, or the
+  // final block.  On return false nothing is held at any stage.
+  bool acquire_cancellable(proc& p, cancel_token& tk)
+    requires AbortableKexFor<Block, P>
+  {
+    const int stages = static_cast<int>(stages_.size());
+    int d = 0;
+    while (d < stages && stage_at(d).x.value.fetch_dec_floor0(p) == 0) ++d;
+    depth_[static_cast<std::size_t>(p.id)].value = d;
+    bool ok = d == stages ? final_block_->acquire_cancellable(p, tk)
+                          : stage_at(d).block.acquire_cancellable(p, tk);
+    if (!ok) {
+      if (d < stages) stage_at(d).x.value.fetch_add(p, 1);
+      return false;
+    }
+    for (int i = d - 1; i >= 0; --i) {
+      if (!stage_at(i).block.acquire_cancellable(p, tk)) {
+        for (int j = i + 1; j < d; ++j) stage_at(j).block.release(p);
+        if (d == stages) {
+          final_block_->release(p);
+        } else {
+          stage_at(d).block.release(p);
+          stage_at(d).x.value.fetch_add(p, 1);
+        }
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool try_acquire(proc& p)
+    requires AbortableKexFor<Block, P>
+  {
+    cancel_token tk = cancel_token::fired_token();
+    return acquire_cancellable(p, tk);
   }
 
   int n() const { return n_; }

@@ -120,6 +120,14 @@ class hybrid_kex {
   static constexpr int retry = 3;    // cap reached; go through the tree
   static constexpr int granted = 4;  // granted + c: admission handed over,
                                      // c = grants so far in this segment
+  // The owner abandoned the attempt (cancellation).  Negative so it can
+  // never collide with a grant value (granted + c, c >= 1).  Like every
+  // other outcome it is a non-`waiting` value left behind on the node: a
+  // releaser holding a stale pointer fails its CAS and returns its
+  // admission to the tree, and the next enqueue of this pid overwrites
+  // it with `waiting` before publishing the link — the same reuse
+  // argument as for granted/retry/self corpses.
+  static constexpr int aborted = -1;
 
  public:
   hybrid_kex(int n, int k, int pid_space = -1)
@@ -186,6 +194,97 @@ class hybrid_kex {
     stats_.handoffs.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Cancellable acquire.  The attempt can be abandoned at three points,
+  // each with its own restoration obligation:
+  //
+  //   * while walking the tree (as queue head, after a timeout, or after
+  //     a `retry`): the tree's own backout releases every block held, and
+  //     the node must then pass the baton (see abandon() below) so a
+  //     successor already queued behind it does not wait out its full
+  //     patience for a grant that cannot come;
+  //   * while waiting for a grant: the `waiting -> aborted` CAS
+  //     arbitrates against a concurrent grant exactly like the timeout
+  //     CAS does.  Win: the node is unclaimable, pass the baton and
+  //     leave.  Lose: a grant (or retry) landed first — the admission is
+  //     ours whether we want it or not, and admission conservation
+  //     requires disposing of it through the normal release path, which
+  //     either re-grants it down the queue or returns it to the tree;
+  //   * a grant that arrives on the very probe the token fires: the
+  //     predicate wins (await_cancellable checks it first), we hold the
+  //     admission, and it is disposed of the same way.
+  //
+  // In every false return the caller holds nothing, the grant lineage of
+  // its leaf queue is unstalled, and admissions remain conserved.
+  bool acquire_cancellable(proc& p, cancel_token& tk)
+    requires AbortableKexFor<tree_kex<P, Block>, P>
+  {
+    qnode& mine = node(p);
+    queue& q = queues_[static_cast<std::size_t>(tree_.leaf_of(p.id))];
+    if (q.enqueue(p, mine, waiting) == nullptr) {
+      if (!tree_.acquire_cancellable(p, tk)) {
+        abandon(p, mine, q);
+        return false;
+      }
+      enter_via_tree(p, stats_.tree_walks);
+      return true;
+    }
+    auto v = mine.status.await_cancellable(
+        p, [](int s) { return s != waiting; }, tk, opt_.patience);
+    if (!v) {
+      if (tk.fired()) {
+        if (mine.status.compare_exchange(p, waiting, aborted)) {
+          abandon(p, mine, q);
+          return false;
+        }
+      } else {
+        // Patience expired with the token still quiet: the normal
+        // crashed-predecessor arbitration, then a cancellable tree walk.
+        if (mine.status.compare_exchange(p, waiting, self)) {
+          if (!tree_.acquire_cancellable(p, tk)) {
+            abandon(p, mine, q);
+            return false;
+          }
+          enter_via_tree(p, stats_.timeouts);
+          return true;
+        }
+      }
+      v = mine.status.read(p);
+    }
+    if (tk.fired()) {
+      // Abandoning, but the wait outcome already committed to us.
+      if (*v == retry) {
+        // The releaser kept its admission on the tree; nothing is ours.
+        abandon(p, mine, q);
+        return false;
+      }
+      // A grant: dispose of the admission through the release path (it
+      // hands it to our successor or returns it to the tree).  Not
+      // counted as a handoff — this attempt never enters the CS.
+      segment_of(p) = *v - granted;
+      release(p);
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (*v == retry) {
+      if (!tree_.acquire_cancellable(p, tk)) {
+        abandon(p, mine, q);
+        return false;
+      }
+      enter_via_tree(p, stats_.retries);
+      return true;
+    }
+    segment_of(p) = *v - granted;
+    stats_.handoffs.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool try_acquire(proc& p)
+    requires AbortableKexFor<tree_kex<P, Block>, P>
+  {
+    cancel_token tk = cancel_token::fired_token();
+    return acquire_cancellable(p, tk);
+  }
+
   void release(proc& p) {
     qnode& mine = node(p);
     queue& q = queues_[static_cast<std::size_t>(tree_.leaf_of(p.id))];
@@ -221,6 +320,7 @@ class hybrid_kex {
     std::uint64_t retries = 0;        // cap-forced tree acquisitions
     std::uint64_t timeouts = 0;       // waits abandoned past patience
     std::uint64_t tree_releases = 0;  // admissions returned to the tree
+    std::uint64_t aborts = 0;         // attempts abandoned by cancellation
 
     std::uint64_t acquires() const {
       return tree_walks + handoffs + retries + timeouts;
@@ -240,6 +340,7 @@ class hybrid_kex {
     s.retries = stats_.retries.load(std::memory_order_relaxed);
     s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
     s.tree_releases = stats_.tree_releases.load(std::memory_order_relaxed);
+    s.aborts = stats_.aborts.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -258,12 +359,30 @@ class hybrid_kex {
     counter.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Leave the queue after an abandoned attempt, without stalling the
+  // grant lineage.  The node's status is already non-`waiting` (aborted,
+  // or a head's stale value), so no releaser can claim it — but a
+  // successor queued behind it would otherwise sit out its full patience
+  // waiting on a corpse.  Pass the baton: if a successor exists (or
+  // finishes linking within patience), flip it `waiting -> retry` so it
+  // contends on the tree immediately; if the aborter is the tail,
+  // successor()'s CAS swings the tail back and the node leaves the queue
+  // with no trace.  The CAS can lose only to a releaser's grant or the
+  // successor's own timeout — both of which un-wedge it just as well.
+  void abandon(proc& p, qnode& mine, queue& q) {
+    qnode* s = q.successor(p, mine, opt_.patience);
+    if (s != nullptr && s->status.compare_exchange(p, waiting, retry))
+      s->status.wake_one();
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+
   struct alignas(cacheline_size) counters {
     std::atomic<std::uint64_t> tree_walks{0};
     std::atomic<std::uint64_t> handoffs{0};
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> timeouts{0};
     std::atomic<std::uint64_t> tree_releases{0};
+    std::atomic<std::uint64_t> aborts{0};
   };
 
   hybrid_options opt_;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "common/check.h"
+#include "platform/cancel.h"
 #include "platform/platform.h"
 
 namespace kex {
@@ -25,6 +26,22 @@ concept KExclusionFor =
       a.release(p);
       { ca.n() } -> std::convertible_to<int>;
       { ca.k() } -> std::convertible_to<int>;
+    };
+
+// An abortable k-exclusion additionally offers a cancellable entry
+// section: acquire_cancellable returns true holding a slot (release as
+// usual) or false having abandoned the attempt with every protocol
+// invariant restored — no slot held, no orphaned queue or tree state,
+// and no other process's progress impaired.  The abort path must itself
+// be local-spin and crash-tolerant: a process crashing mid-abort burns
+// at most the one slot any crash may burn.  try_acquire is the
+// degenerate form (a pre-fired token): it succeeds iff no waiting would
+// have been needed.
+template <class A, class P>
+concept AbortableKexFor =
+    KExclusionFor<A, P> &&
+    requires(A a, typename P::proc& p, cancel_token& tk) {
+      { a.acquire_cancellable(p, tk) } -> std::convertible_to<bool>;
     };
 
 // RAII critical-section guard (C++ Core Guidelines CP.20).

@@ -144,6 +144,34 @@ class tree_kex {
     for (int i = d - 1; i >= 0; --i) block(path[i]).release(p);
   }
 
+  // Cancellable acquire (available when the building block is abortable):
+  // climb as acquire() does; if the token fires inside the block at
+  // path[i], release the i blocks below it — nearest-to-root held block
+  // first, the same top-down order release() uses — and report failure
+  // with no node state left behind.  Each block's own abort guarantees
+  // the node at path[i] is already quiescent when its
+  // acquire_cancellable returns false.
+  bool acquire_cancellable(proc& p, cancel_token& tk)
+    requires AbortableKexFor<Block, P>
+  {
+    int path[max_depth];
+    int d = path_of(p.id, path);
+    for (int i = 0; i < d; ++i) {
+      if (!block(path[i]).acquire_cancellable(p, tk)) {
+        for (int j = i - 1; j >= 0; --j) block(path[j]).release(p);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool try_acquire(proc& p)
+    requires AbortableKexFor<Block, P>
+  {
+    cancel_token tk = cancel_token::fired_token();
+    return acquire_cancellable(p, tk);
+  }
+
   int n() const { return n_; }
   int k() const { return k_; }
   int depth() const { return ceil_log2(leaves_); }

@@ -1,0 +1,151 @@
+// Cancellation tokens for abortable waits.
+//
+// The paper's algorithms assume a process that starts `acquire` either
+// gets a slot or spins forever.  A production lock service needs the
+// third outcome — the caller gives up — without leaking slots or
+// breaking the (k-1) resiliency budget.  A `cancel_token` is the
+// caller-side handle for that third outcome: it is armed with a reason
+// to stop (an external abort flag, a wall-clock deadline, or a spin
+// budget) and is consulted by the platform's `await_cancellable` once
+// per wait iteration and by abortable protocol code at its decision
+// points.
+//
+// Two query surfaces, deliberately distinct:
+//   * fired()  — read-only, callable from anywhere, consumes nothing.
+//     Protocol code uses it at decision points ("has this attempt been
+//     abandoned?").
+//   * tick()   — owner-side, consumes one unit of patience: decrements
+//     the spin budget (if armed) and samples the deadline clock (if
+//     armed).  Wait loops and bounded retry loops call it once per
+//     probe, which is what makes a budget token deterministic: the
+//     token fires after exactly `budget` consumed probes regardless of
+//     scheduling.
+//
+// The token itself performs no *shared* accesses — it is host-side
+// state private to one attempt — so consulting it costs zero RMRs under
+// the simulated cost model.  That is the crux of the abort-path audit:
+// an abort adds only the protocol writes needed to restore the
+// invariants, never busy-waiting on the token.
+//
+// `cancel()` may be called from any thread (the flag is atomic); all
+// other members are owner-side.  Tokens are single-attempt: reuse one
+// across retries only after `reset()`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace kex {
+
+enum class cancel_reason : std::uint8_t {
+  none = 0,       // not fired
+  cancelled = 1,  // cancel() was called (external abort)
+  deadline = 2,   // the wall-clock deadline passed
+  budget = 3,     // the spin budget was exhausted
+};
+
+class cancel_token {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  cancel_token() = default;
+  cancel_token(const cancel_token&) = delete;
+  cancel_token& operator=(const cancel_token&) = delete;
+
+  // A token that is already fired: acquire_cancellable with one of
+  // these is exactly try_acquire — it succeeds iff no waiting (and no
+  // retry) would have been needed.
+  static cancel_token fired_token() { return with_budget(0); }
+
+  // Fires after `reads` consumed ticks.  reads == 0 fires immediately.
+  static cancel_token with_budget(std::uint64_t reads) {
+    return cancel_token(arm{.has_budget = true, .budget = reads});
+  }
+
+  static cancel_token with_deadline(clock::time_point deadline) {
+    return cancel_token(arm{.has_deadline = true, .deadline = deadline});
+  }
+
+  template <class Rep, class Period>
+  static cancel_token after(std::chrono::duration<Rep, Period> d) {
+    return with_deadline(clock::now() + d);
+  }
+
+  // External abort; callable from any thread.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  // Has the token fired?  Read-only: never consumes budget, never
+  // samples the clock (the deadline is only observed by tick(), keeping
+  // fired() cheap enough for per-statement protocol checks).
+  bool fired() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    return reason_ != cancel_reason::none;
+  }
+
+  // Consume one unit of patience, then report fired().  Owner-side.
+  bool tick() {
+    if (fired()) return true;
+    if (has_budget_) {
+      if (budget_left_ <= 1) {
+        budget_left_ = 0;
+        fire(cancel_reason::budget);
+        return true;
+      }
+      --budget_left_;
+    }
+    if (has_deadline_ && clock::now() >= deadline_) {
+      fire(cancel_reason::deadline);
+      return true;
+    }
+    return false;
+  }
+
+  // Why the token fired (cancel() wins over a concurrent deadline or
+  // budget expiry observed later).  `none` while not fired.
+  cancel_reason reason() const {
+    if (cancelled_.load(std::memory_order_acquire))
+      return cancel_reason::cancelled;
+    return reason_;
+  }
+
+  // Re-arm for another attempt: clears the fired state and restores the
+  // original budget.  The deadline, if any, is kept — a deadline token
+  // that has genuinely passed its deadline re-fires on the next tick.
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    reason_ = cancel_reason::none;
+    budget_left_ = budget_initial_;
+  }
+
+ private:
+  struct arm {
+    bool has_budget = false;
+    std::uint64_t budget = 0;
+    bool has_deadline = false;
+    clock::time_point deadline{};
+  };
+
+  explicit cancel_token(arm a)
+      : has_budget_(a.has_budget),
+        budget_left_(a.budget),
+        budget_initial_(a.budget),
+        has_deadline_(a.has_deadline),
+        deadline_(a.deadline) {
+    if (has_budget_ && budget_left_ == 0) fire(cancel_reason::budget);
+  }
+
+  void fire(cancel_reason r) {
+    if (reason_ == cancel_reason::none) reason_ = r;
+  }
+
+  cancel_reason reason_ = cancel_reason::none;  // owner-side firing cause
+  bool has_budget_ = false;
+  std::uint64_t budget_left_ = 0;
+  std::uint64_t budget_initial_ = 0;
+  bool has_deadline_ = false;
+  clock::time_point deadline_{};
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace kex

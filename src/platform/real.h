@@ -20,6 +20,7 @@
 #include <type_traits>
 
 #include "common/cacheline.h"
+#include "platform/cancel.h"
 #include "platform/proc.h"
 #include "platform/wait.h"
 
@@ -148,6 +149,30 @@ struct real_platform {
       wait_engine engine(opts);
       for (std::uint32_t reads = 1; !pred(v); ++reads) {
         if (reads >= budget) return std::nullopt;
+        engine.step([] {});  // never reached: allow_park is off
+        v = v_.load(std::memory_order_acquire);
+      }
+      return v;
+    }
+
+    // Cancellable await: abandon the wait when the token fires (one tick
+    // per failed probe) or, if `budget` is nonzero, after `budget` loads.
+    // Never parks, for the same reason await_bounded never parks: the
+    // token can fire (a deadline passes, cancel() is called from another
+    // thread) without any write to this variable, and a parked thread
+    // cannot observe that.  The predicate is checked before the token on
+    // every probe, so a grant that already landed wins over a concurrent
+    // cancellation.  Same acquire-load argument as await() above.
+    template <class Pred>
+    std::optional<T> await_cancellable(proc&, Pred pred, cancel_token& tk,
+                                       std::uint32_t budget = 0,
+                                       wait_opts opts = {}) {
+      opts.allow_park = false;
+      T v = v_.load(std::memory_order_acquire);
+      wait_engine engine(opts);
+      for (std::uint32_t reads = 1; !pred(v); ++reads) {
+        if (tk.tick()) return std::nullopt;
+        if (budget != 0 && reads >= budget) return std::nullopt;
         engine.step([] {});  // never reached: allow_park is off
         v = v_.load(std::memory_order_acquire);
       }

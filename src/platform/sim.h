@@ -35,6 +35,7 @@
 #include <unordered_map>
 
 #include "common/cacheline.h"
+#include "platform/cancel.h"
 #include "platform/proc.h"
 #include "platform/wait.h"
 
@@ -296,6 +297,34 @@ struct sim_platform {
       T v = read(p);
       for (std::uint32_t reads = 1; !pred(v); ++reads) {
         if (reads >= budget) return std::nullopt;
+        p.spin();
+        wait.next_iteration();
+        v = read(p);
+      }
+      return v;
+    }
+
+    // Cancellable await: like await(), but the wait is abandoned when the
+    // token fires (one tick is consumed per failed probe) or, if `budget`
+    // is nonzero, after `budget` reads — whichever comes first.  Returns
+    // the satisfying value, or std::nullopt when the wait was abandoned;
+    // the caller then runs its abort path (restoring protocol invariants)
+    // or, on a plain budget expiry with an unfired token, its patience
+    // path.  The predicate is checked before the token on every probe —
+    // a grant that has already landed always wins over a concurrent
+    // cancellation, so an enabled waiter never walks away from a slot it
+    // was handed.  The loop charges exactly like await(): consulting the
+    // token is host-side and costs no shared accesses, and an abandoned
+    // episode is still a complete wait episode to the auditor.
+    template <class Pred>
+    std::optional<T> await_cancellable(proc& p, Pred pred, cancel_token& tk,
+                                       std::uint32_t budget = 0,
+                                       wait_opts = {}) {
+      typename proc::wait_scope wait(p, this);
+      T v = read(p);
+      for (std::uint32_t reads = 1; !pred(v); ++reads) {
+        if (tk.tick()) return std::nullopt;
+        if (budget != 0 && reads >= budget) return std::nullopt;
         p.spin();
         wait.next_iteration();
         v = read(p);

@@ -13,9 +13,11 @@
 
 #include <bit>
 #include <cstdint>
+#include <optional>
 
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "platform/cancel.h"
 #include "platform/platform.h"
 
 namespace kex {
@@ -36,6 +38,20 @@ class bitmask_renaming {
   // terminates (each failure means someone else made progress).
   int get_name(proc& p) {
     for (;;) {
+      std::uint64_t m = mask_.value.read(p);
+      KEX_CHECK_MSG(m != full(), "bitmask_renaming: more than k holders");
+      int name = std::countr_one(m);  // lowest clear bit
+      if (mask_.value.compare_exchange(p, m, m | (1ull << name)))
+        return name;
+    }
+  }
+
+  // Cancellable variant: consult the token (one tick) before each CAS
+  // attempt.  Returns std::nullopt holding nothing when the token fires;
+  // a CAS that already landed wins over a concurrent cancellation.
+  std::optional<int> try_get_name(proc& p, cancel_token& tk) {
+    for (;;) {
+      if (tk.tick()) return std::nullopt;
       std::uint64_t m = mask_.value.read(p);
       KEX_CHECK_MSG(m != full(), "bitmask_renaming: more than k holders");
       int name = std::countr_one(m);  // lowest clear bit

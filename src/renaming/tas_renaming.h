@@ -15,10 +15,12 @@
 // combination is (N,k)-assignment (k_assignment.h).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "platform/cancel.h"
 #include "platform/platform.h"
 #include "primitives/ops.h"
 
@@ -45,6 +47,24 @@ class tas_renaming {
       ++name;
     }
     return name;  // name == k-1 needs no bit: at most one process gets here
+  }
+
+  // Cancellable variant: consult the token (one tick) before each bit
+  // probe.  Returns std::nullopt with no bit held when the token fires
+  // mid-scan; a probe that already succeeded wins over a concurrent
+  // cancellation (the name is held and returned — the caller releases it
+  // like any other).  The scan holds at most zero bits between probes,
+  // so there is nothing to undo on abort: the abort path costs zero
+  // shared references.
+  std::optional<int> try_get_name(proc& p, cancel_token& tk) {
+    int name = 0;
+    while (name < k_ - 1) {
+      if (tk.tick()) return std::nullopt;
+      if (!test_and_set<P>(bits_[static_cast<std::size_t>(name)].value, p))
+        return name;
+      ++name;
+    }
+    return name;  // k-1 needs no write; taking it costs nothing
   }
 
   // Release a previously-obtained name.

@@ -1,0 +1,296 @@
+// Abort-storm fault-injection harness: the robustness counterpart to
+// rmr_meter.h.
+//
+// The abortable entry sections (kex/*::acquire_cancellable) make three
+// promises that a single directed test cannot exercise together:
+//
+//   1. an abort backs out completely — no orphaned slots, no stalled
+//      grant lineage, the next entrant sees full capacity;
+//   2. aborts compose with crashes — a process that dies *mid-abort* is
+//      just a crash, consuming at most its one slot of the paper's (k-1)
+//      resiliency budget;
+//   3. the whole mix stays safe — never more than k processes in their
+//      critical sections, no matter how attempts, aborts, timeouts,
+//      retries and crashes interleave.
+//
+// run_abort_storm drives all three at once: a seeded, deterministic-mix
+// workload where every worker rolls per attempt between a plain acquire,
+// an immediately-cancelled attempt (pre-fired token) and a patience-
+// bounded attempt with retry/backoff, while up to k-1 doomed workers arm
+// statement-offset crashes that land wherever the offset falls — inside
+// the entry section, inside the abort backout, inside release.  Safety is
+// asserted on the fly (cs_monitor); liveness is asserted afterwards by a
+// sequential survivor drain: every non-crashed process must still be able
+// to acquire, which fails loudly if any abort leaked a slot.
+//
+// measure_abort_rmr_stepped is the matching deterministic instrument: the
+// step-gated lockstep schedule from measure_rmr_stepped, but with every
+// odd pid running budget-bounded attempts, so "amortized remote
+// references per attempt (aborts included)" is a byte-stable number a
+// perf gate can pin exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/check.h"
+#include "platform/cancel.h"
+#include "platform/sim.h"
+#include "platform/stepper.h"
+#include "runtime/cs_monitor.h"
+#include "runtime/process_group.h"
+#include "runtime/workload.h"
+
+namespace kex {
+
+struct abort_storm_options {
+  int nprocs = 8;                 // processes in the storm
+  int k = 2;                      // capacity of the algorithm under test
+  int iterations = 200;           // attempts per surviving worker
+  std::uint32_t seed = 1;         // storm seed (per-pid streams derived)
+  int cancel_permille = 200;      // odds of an immediately-cancelled attempt
+  int timed_permille = 300;       // odds of a patience-bounded attempt
+  std::uint32_t budget = 3;       // tick budget of a patience-bounded attempt
+  int crashers = 0;               // doomed pids 0..crashers-1 (must be <= k-1)
+  std::uint32_t crash_offset = 4; // base statement offset for injected crashes
+  int max_retries = 3;            // retries after a timed-out attempt
+  std::uint32_t backoff_spins = 32;  // local backoff, doubled per retry
+  std::uint32_t cs_work = 0;      // work units held inside the CS
+  cost_model model = cost_model::cc;
+};
+
+struct abort_storm_result {
+  std::uint64_t attempts = 0;     // every entry-section attempt, any outcome
+  std::uint64_t acquired = 0;     // attempts that entered the CS
+  std::uint64_t aborted = 0;      // attempts abandoned by a fired token
+  std::uint64_t retries = 0;      // backoff re-attempts after a timeout
+  int crashes = 0;                // workers unwound by process_failed
+  int max_occupancy = 0;          // high-water CS occupancy observed
+  int survivors_completed = 0;    // post-storm drain successes
+  bool occupancy_ok = false;      // max_occupancy <= k
+  bool drained = false;           // every survivor re-acquired after the storm
+  bool ok = false;                // occupancy_ok && drained
+};
+
+// Drive `alg` (any abortable k-exclusion object on the sim platform —
+// a concrete algorithm or an any_kex handle) through one seeded storm.
+template <class KEx>
+abort_storm_result run_abort_storm(KEx& alg, const abort_storm_options& opt) {
+  KEX_CHECK_MSG(opt.nprocs >= 1 && opt.iterations >= 1,
+                "run_abort_storm: bad parameters");
+  KEX_CHECK_MSG(opt.crashers >= 0 && opt.crashers <= opt.k - 1,
+                "run_abort_storm: crashers must respect the (k-1) "
+                "resiliency budget");
+  KEX_CHECK_MSG(opt.cancel_permille + opt.timed_permille <= 1000,
+                "run_abort_storm: permille mix exceeds 1000");
+  KEX_CHECK_MSG(opt.budget >= 1, "run_abort_storm: budget must be >= 1");
+
+  process_set<sim_platform> procs(opt.nprocs, opt.model);
+  cs_monitor monitor;
+
+  struct per_proc {
+    std::uint64_t attempts = 0;
+    std::uint64_t acquired = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t retries = 0;
+  };
+  std::vector<padded<per_proc>> stats(static_cast<std::size_t>(opt.nprocs));
+
+  auto critical = [&](sim_platform::proc& p, per_proc& mine) {
+    monitor.enter();
+    // Yield while holding so other workers get scheduled mid-hold and
+    // occupancy overlap (hence waiting, hence real aborts) occurs even
+    // on a single core.
+    std::this_thread::yield();
+    spin_work(opt.cs_work);
+    monitor.exit();
+    alg.release(p);
+    ++mine.acquired;
+  };
+
+  auto run = run_workers<sim_platform>(
+      procs, all_pids(opt.nprocs), [&](sim_platform::proc& p) {
+        auto& mine = stats[static_cast<std::size_t>(p.id)].value;
+        xorshift rng(opt.seed * 2654435761u + static_cast<std::uint32_t>(
+                                                  p.id + 1) * 0x85ebca6bu);
+        const bool doomed = p.id < opt.crashers;
+        if (doomed) {
+          // Statement-offset crash: lands wherever the countdown falls —
+          // mid-entry, mid-backout, mid-release.  The unbounded attempt
+          // loop guarantees the crash fires (every cycle makes shared
+          // accesses), so run_workers always counts exactly `crashers`
+          // process_failed unwinds.
+          p.fail_after(static_cast<int>(opt.crash_offset) + 3 * p.id);
+          for (;;) {
+            cancel_token tk = cancel_token::with_budget(opt.budget);
+            ++mine.attempts;
+            if (alg.acquire_cancellable(p, tk))
+              critical(p, mine);
+            else
+              ++mine.aborted;
+          }
+        }
+        for (int it = 0; it < opt.iterations; ++it) {
+          const std::uint32_t roll = rng.next_below(1000);
+          if (roll < static_cast<std::uint32_t>(opt.cancel_permille)) {
+            // Abort storm proper: the token is already fired, so the
+            // entry section must back out using only local steps.
+            cancel_token tk = cancel_token::fired_token();
+            ++mine.attempts;
+            if (alg.acquire_cancellable(p, tk))
+              critical(p, mine);  // grant-wins race: keep what we won
+            else
+              ++mine.aborted;
+          } else if (roll < static_cast<std::uint32_t>(opt.cancel_permille +
+                                                       opt.timed_permille)) {
+            // Deadline-ish attempt: bounded patience, then retry with
+            // doubling local backoff — the client-side loop the lock
+            // service recommends.
+            bool got = false;
+            for (int r = 0; r <= opt.max_retries && !got; ++r) {
+              cancel_token tk = cancel_token::with_budget(opt.budget);
+              ++mine.attempts;
+              if (alg.acquire_cancellable(p, tk)) {
+                got = true;
+              } else {
+                ++mine.aborted;
+                if (r < opt.max_retries) {
+                  ++mine.retries;
+                  spin_work(opt.backoff_spins << r);
+                }
+              }
+            }
+            if (got) critical(p, mine);
+          } else {
+            ++mine.attempts;
+            alg.acquire(p);
+            critical(p, mine);
+          }
+        }
+      });
+
+  abort_storm_result out;
+  for (const auto& s : stats) {
+    out.attempts += s.value.attempts;
+    out.acquired += s.value.acquired;
+    out.aborted += s.value.aborted;
+    out.retries += s.value.retries;
+  }
+  out.crashes = run.crashed;
+  out.max_occupancy = monitor.max_occupancy();
+  out.occupancy_ok = out.max_occupancy <= opt.k;
+
+  // Survivor drain: with at most k-1 slots consumed by crashes, one free
+  // slot is guaranteed, so every survivor — alone — must get in.  The
+  // drain itself is cancellable with a huge budget: a leaked slot shows
+  // up as a clean drain failure instead of a hung test.
+  for (int pid = opt.crashers; pid < opt.nprocs; ++pid) {
+    cancel_token tk = cancel_token::with_budget(1u << 20);
+    auto& p = procs[pid];
+    if (alg.acquire_cancellable(p, tk)) {
+      monitor.enter();
+      monitor.exit();
+      alg.release(p);
+      ++out.survivors_completed;
+    }
+  }
+  out.drained = out.survivors_completed == opt.nprocs - opt.crashers;
+  out.ok = out.occupancy_ok && out.drained;
+  return out;
+}
+
+// Deterministic amortized abort cost.  Every odd pid attempts with a
+// fresh budget-`budget` token each iteration (so it times out and backs
+// out whenever the canonical lockstep schedule makes it wait); even pids
+// acquire plainly.  Remote references are charged per *attempt* —
+// successful or aborted — which is the quantity the abortable extension
+// advertises: amortized RMRs per attempt, aborts included.  Run under
+// the step gate, the number is byte-stable (see measure_rmr_stepped for
+// why), so bench_compare can gate it at zero tolerance.
+struct abort_rmr_result {
+  std::uint64_t attempts = 0;
+  std::uint64_t acquired = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t max_attempt = 0;       // worst single attempt, remote refs
+  double amortized_per_attempt = 0.0;  // total remote / attempts
+  std::uint64_t total_remote = 0;
+  int max_occupancy = 0;
+};
+
+template <class KEx>
+abort_rmr_result measure_abort_rmr_stepped(KEx& alg, int c, int iterations,
+                                           cost_model model,
+                                           std::uint32_t budget = 2,
+                                           long completion_budget = 4000000) {
+  KEX_CHECK_MSG(c >= 1 && iterations >= 1 && budget >= 1,
+                "measure_abort_rmr_stepped: bad parameters");
+  struct per_proc {
+    std::uint64_t attempts = 0;
+    std::uint64_t acquired = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t max_attempt = 0;
+    std::uint64_t sum_attempt = 0;
+  };
+  std::vector<padded<per_proc>> stats(static_cast<std::size_t>(c));
+  cs_monitor monitor;
+
+  std::vector<std::function<void(sim_platform::proc&)>> scripts;
+  scripts.reserve(static_cast<std::size_t>(c));
+  for (int pid = 0; pid < c; ++pid) {
+    scripts.push_back([&, pid](sim_platform::proc& p) {
+      auto& mine = stats[static_cast<std::size_t>(pid)].value;
+      const bool aborter = pid % 2 == 1;
+      for (int it = 0; it < iterations; ++it) {
+        const std::uint64_t before = p.counters().remote;
+        ++mine.attempts;
+        bool got;
+        if (aborter) {
+          cancel_token tk = cancel_token::with_budget(budget);
+          got = alg.acquire_cancellable(p, tk);
+        } else {
+          alg.acquire(p);
+          got = true;
+        }
+        if (got) {
+          monitor.enter();
+          monitor.exit();
+          alg.release(p);
+          ++mine.acquired;
+        } else {
+          ++mine.aborted;
+        }
+        const std::uint64_t attempt = p.counters().remote - before;
+        mine.max_attempt = std::max(mine.max_attempt, attempt);
+        mine.sum_attempt += attempt;
+      }
+    });
+  }
+  stepped_options opt;
+  opt.completion_budget = completion_budget;
+  opt.model = model;
+  auto outcome = run_stepped(std::move(scripts), {}, opt);
+  KEX_CHECK_MSG(!outcome.deadlocked,
+                "measure_abort_rmr_stepped: run exhausted its budget");
+
+  abort_rmr_result out;
+  for (int pid = 0; pid < c; ++pid) {
+    const auto& s = stats[static_cast<std::size_t>(pid)].value;
+    out.attempts += s.attempts;
+    out.acquired += s.acquired;
+    out.aborted += s.aborted;
+    out.max_attempt = std::max(out.max_attempt, s.max_attempt);
+    out.total_remote += s.sum_attempt;
+  }
+  out.amortized_per_attempt =
+      out.attempts ? static_cast<double>(out.total_remote) /
+                         static_cast<double>(out.attempts)
+                   : 0.0;
+  out.max_occupancy = monitor.max_occupancy();
+  return out;
+}
+
+}  // namespace kex

@@ -50,6 +50,22 @@ std::uint64_t lock_table_stats::total_crashes() const {
   return t;
 }
 
+std::uint64_t lock_table_stats::total_aborts() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards) t += s.aborts;
+  return t;
+}
+
+std::uint64_t lock_table_stats::total_timeouts() const {
+  std::uint64_t t = 0;
+  for (const auto& s : shards) t += s.timeouts;
+  return t;
+}
+
+std::uint64_t lock_table_stats::total_attempts() const {
+  return total_acquires() + total_aborts() + total_timeouts();
+}
+
 int lock_table_stats::max_occupancy() const {
   int m = 0;
   for (const auto& s : shards)

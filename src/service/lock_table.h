@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <concepts>
 #include <cstdint>
 #include <string_view>
@@ -64,6 +65,8 @@ struct lock_shard_stats {
   std::uint64_t acquires = 0;   // guards handed out
   std::uint64_t fast_hits = 0;  // acquired an otherwise-empty shard
   std::uint64_t crashes = 0;    // holders that crashed in their CS
+  std::uint64_t aborts = 0;     // attempts abandoned by cancel()
+  std::uint64_t timeouts = 0;   // attempts abandoned by deadline/budget
   int max_occupancy = 0;        // peak concurrent holders (<= k always)
   int occupancy = 0;            // current holders, crashed ones included
   int home_node = 0;            // NUMA node this shard's state targets
@@ -76,6 +79,11 @@ struct lock_table_stats {
   std::uint64_t total_acquires() const;
   std::uint64_t total_fast_hits() const;
   std::uint64_t total_crashes() const;
+  std::uint64_t total_aborts() const;
+  std::uint64_t total_timeouts() const;
+  // Every acquisition attempt, successful or abandoned.  Derived, not a
+  // hot-path counter: acquires + aborts + timeouts.
+  std::uint64_t total_attempts() const;
   int max_occupancy() const;
 
   // Spread of acquires across shards: max over mean (1.0 = perfectly
@@ -102,6 +110,8 @@ class lock_table {
     std::atomic<std::uint64_t> acquires{0};
     std::atomic<std::uint64_t> fast_hits{0};
     std::atomic<std::uint64_t> crashes{0};
+    std::atomic<std::uint64_t> aborts{0};
+    std::atomic<std::uint64_t> timeouts{0};
     std::atomic<int> occupancy{0};
     std::atomic<int> max_occupancy{0};
   };
@@ -197,6 +207,47 @@ class lock_table {
     return acquire(s.context(), key);
   }
 
+  // --- cancellable acquisition -------------------------------------------
+  // All three return an empty guard (operator bool == false) when the
+  // attempt was abandoned; the shard's abort/timeout counter records why.
+  // Requires the shard algorithm to be abortable (kex_is_abortable).
+  template <class Key>
+  guard acquire(proc& p, Key key, cancel_token& tk) {
+    return acquire_shard_cancellable(p, shard_of(key), tk);
+  }
+
+  template <class Key>
+  guard try_acquire(proc& p, Key key) {
+    cancel_token tk = cancel_token::fired_token();
+    return acquire_shard_cancellable(p, shard_of(key), tk);
+  }
+
+  template <class Key, class Rep, class Period>
+  guard acquire_for(proc& p, Key key,
+                    std::chrono::duration<Rep, Period> d) {
+    cancel_token tk = cancel_token::after(d);
+    return acquire_shard_cancellable(p, shard_of(key), tk);
+  }
+
+  template <class S, class Key>
+    requires requires(S& s) { { s.context() } -> std::same_as<proc&>; }
+  guard acquire(S& s, Key key, cancel_token& tk) {
+    return acquire(s.context(), key, tk);
+  }
+  template <class S, class Key>
+    requires requires(S& s) { { s.context() } -> std::same_as<proc&>; }
+  guard try_acquire(S& s, Key key) {
+    return try_acquire(s.context(), key);
+  }
+  template <class S, class Key, class Rep, class Period>
+    requires requires(S& s) { { s.context() } -> std::same_as<proc&>; }
+  guard acquire_for(S& s, Key key, std::chrono::duration<Rep, Period> d) {
+    return acquire_for(s.context(), key, d);
+  }
+
+  // Does the configured shard algorithm support the cancellation surface?
+  bool abortable() const { return shards_[0].kex.abortable(); }
+
   // Run `f()` while holding the shard for `key`.
   template <class Key, class F>
   auto with(proc& p, Key key, F&& f) {
@@ -223,6 +274,8 @@ class lock_table {
       row.acquires = s.acquires.load(std::memory_order_relaxed);
       row.fast_hits = s.fast_hits.load(std::memory_order_relaxed);
       row.crashes = s.crashes.load(std::memory_order_relaxed);
+      row.aborts = s.aborts.load(std::memory_order_relaxed);
+      row.timeouts = s.timeouts.load(std::memory_order_relaxed);
       row.max_occupancy = s.max_occupancy.load(std::memory_order_relaxed);
       row.occupancy = s.occupancy.load(std::memory_order_relaxed);
       row.home_node = s.home_node;
@@ -238,6 +291,27 @@ class lock_table {
     // Everything below is host-side bookkeeping — by the time it runs the
     // caller is inside the critical section, and a sim-injected crash
     // will surface at its next *shared* access, not here.
+    int now = s.occupancy.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = s.max_occupancy.load(std::memory_order_relaxed);
+    while (now > peak && !s.max_occupancy.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    s.acquires.fetch_add(1, std::memory_order_relaxed);
+    if (now == 1) s.fast_hits.fetch_add(1, std::memory_order_relaxed);
+    return guard(&s, &p);
+  }
+
+  guard acquire_shard_cancellable(proc& p, int idx, cancel_token& tk) {
+    auto& s = shards_[static_cast<std::size_t>(idx)];
+    if (!s.kex.acquire_cancellable(p, tk)) {
+      // Abandoned: nothing held.  Attribute by firing cause — an external
+      // cancel() counts as an abort, a deadline or spent budget (which
+      // covers try_acquire's pre-fired token) as a timeout.
+      auto& ctr = tk.reason() == cancel_reason::cancelled ? s.aborts
+                                                          : s.timeouts;
+      ctr.fetch_add(1, std::memory_order_relaxed);
+      return guard();
+    }
     int now = s.occupancy.fetch_add(1, std::memory_order_relaxed) + 1;
     int peak = s.max_occupancy.load(std::memory_order_relaxed);
     while (now > peak && !s.max_occupancy.compare_exchange_weak(

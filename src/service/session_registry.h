@@ -37,6 +37,7 @@
 
 #include "common/cacheline.h"
 #include "common/check.h"
+#include "platform/cancel.h"
 #include "platform/platform.h"
 #include "renaming/bitmask_renaming.h"
 #include "renaming/tas_renaming.h"
@@ -125,6 +126,48 @@ class session_registry {
     return try_attach([](proc&) {});
   }
 
+  // Cancellable attach: give up mid-rename when `tk` fires.  An aborted
+  // attach must not burn a lease slot — the gate decrement is undone with
+  // a matching increment (the renaming scan holds no name bit between
+  // probes, so the gate slot is the only thing to give back), and the
+  // abort is visible in aborted_attaches(), not burned().  A rename that
+  // completed despite a concurrently-firing token wins: the session is
+  // returned as usual (the caller detaches it like any other).  A crash
+  // anywhere in the attempt — including mid-abort, on the gate-restoring
+  // increment itself — is the ordinary crash case: exactly one slot
+  // burned, attributed at the throw site.
+  template <class Arm>
+  std::optional<session> try_attach(Arm&& arm, cancel_token& tk) {
+    auto p = std::make_unique<proc>(capacity_, model_);
+    arm(*p);
+    if (gate_.value.fetch_dec_floor0(*p) == 0) return std::nullopt;
+    std::optional<int> pid;
+    try {
+      pid = names_.try_get_name(*p, tk);
+      if (!pid) {
+        // Aborted holding no name bit: return the gate slot and leave.
+        gate_.value.fetch_add(*p, 1);
+        aborted_attaches_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+    } catch (const process_failed&) {
+      burned_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+    p->id = *pid;
+    int now = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = peak_active_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_active_.compare_exchange_weak(peak, now,
+                                               std::memory_order_relaxed)) {
+    }
+    attaches_.fetch_add(1, std::memory_order_relaxed);
+    return session(this, std::move(p));
+  }
+  std::optional<session> try_attach(cancel_token& tk) {
+    return try_attach([](proc&) {}, tk);
+  }
+
   // --- introspection ------------------------------------------------------
   int capacity() const { return capacity_; }
 
@@ -137,6 +180,12 @@ class session_registry {
 
   // Slots that can still ever be leased: capacity minus burned slots.
   int capacity_remaining() const { return capacity_ - burned(); }
+
+  // Attaches abandoned by a fired cancel token; their gate slots were
+  // returned, so these never reduce capacity_remaining().
+  std::uint64_t aborted_attaches() const {
+    return aborted_attaches_.load(std::memory_order_relaxed);
+  }
 
   // Lifetime attach count and the high-water mark of concurrent sessions.
   std::uint64_t total_attaches() const {
@@ -204,6 +253,7 @@ class session_registry {
   std::atomic<int> burned_{0};
   std::atomic<int> peak_active_{0};
   std::atomic<std::uint64_t> attaches_{0};
+  std::atomic<std::uint64_t> aborted_attaches_{0};
 };
 
 // The one-word CAS variant: cheaper probes, capacity limited to 64.

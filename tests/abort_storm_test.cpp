@@ -1,0 +1,90 @@
+// The abort-storm harness as a test driver: every abortable catalog
+// algorithm survives seeded storms of aborts, timeouts, retries and
+// statement-offset crashes — occupancy bounded by k throughout, every
+// survivor able to acquire afterwards — and the deterministic stepped
+// meter yields identical amortized abort costs run over run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kex/any_kex.h"
+#include "runtime/abort_storm.h"
+
+namespace {
+
+using sim = kex::sim_platform;
+
+void storm(const std::string& name, int nprocs, int k, int crashers,
+           std::uint32_t seed) {
+  SCOPED_TRACE(::testing::Message() << name << " nprocs=" << nprocs
+                                    << " k=" << k << " crashers=" << crashers
+                                    << " seed=" << seed);
+  auto alg = kex::make_kex<sim>(name, nprocs, k);
+  kex::abort_storm_options opt;
+  opt.nprocs = nprocs;
+  opt.k = k;
+  opt.iterations = 60;
+  opt.seed = seed;
+  opt.crashers = crashers;
+  opt.crash_offset = 2 + 3 * seed;  // move the deaths across statements
+  auto r = kex::run_abort_storm(alg, opt);
+  EXPECT_TRUE(r.occupancy_ok)
+      << "occupancy " << r.max_occupancy << " exceeded k=" << k;
+  EXPECT_EQ(r.crashes, crashers);
+  EXPECT_TRUE(r.drained) << "only " << r.survivors_completed << " of "
+                         << nprocs - crashers
+                         << " survivors re-acquired: a slot leaked";
+  // Every attempt resolves to acquired or aborted except the ones cut
+  // short by a crash — at most one in flight per crasher.
+  EXPECT_GE(r.attempts, r.acquired + r.aborted);
+  EXPECT_LE(r.attempts - r.acquired - r.aborted,
+            static_cast<std::uint64_t>(crashers));
+  EXPECT_GT(r.acquired, 0u);
+}
+
+TEST(AbortStorm, EveryAbortableAlgorithmSurvivesCleanStorms) {
+  for (const auto& name : kex::kex_catalog()) {
+    if (!kex::kex_is_abortable(name)) continue;
+    for (std::uint32_t seed : {1u, 2u, 3u}) storm(name, 6, 2, 0, seed);
+  }
+}
+
+TEST(AbortStorm, EveryAbortableAlgorithmSurvivesCrasherStorms) {
+  for (const auto& name : kex::kex_catalog()) {
+    if (!kex::kex_is_abortable(name)) continue;
+    for (std::uint32_t seed : {1u, 2u, 3u}) storm(name, 8, 3, 2, seed);
+  }
+}
+
+TEST(AbortStorm, CrasherCountRespectsTheResiliencyBudget) {
+  auto alg = kex::make_kex<sim>("cc_inductive", 4, 2);
+  kex::abort_storm_options opt;
+  opt.nprocs = 4;
+  opt.k = 2;
+  opt.crashers = 2;  // > k-1
+  EXPECT_THROW((void)kex::run_abort_storm(alg, opt),
+               kex::invariant_violation);
+}
+
+// The stepped meter is the perf gate's instrument: its output must be
+// bit-identical across runs, and an aborted attempt must cost remote
+// references (the backout) without breaking occupancy.
+TEST(AbortStorm, SteppedAbortMeterIsDeterministic) {
+  for (const auto& name : kex::kex_catalog()) {
+    if (!kex::kex_is_abortable(name)) continue;
+    SCOPED_TRACE(name);
+    auto a1 = kex::make_kex<sim>(name, 6, 2);
+    auto r1 = kex::measure_abort_rmr_stepped(a1, 6, 6, kex::cost_model::cc);
+    auto a2 = kex::make_kex<sim>(name, 6, 2);
+    auto r2 = kex::measure_abort_rmr_stepped(a2, 6, 6, kex::cost_model::cc);
+    EXPECT_EQ(r1.attempts, r2.attempts);
+    EXPECT_EQ(r1.aborted, r2.aborted);
+    EXPECT_EQ(r1.total_remote, r2.total_remote);
+    EXPECT_DOUBLE_EQ(r1.amortized_per_attempt, r2.amortized_per_attempt);
+    EXPECT_LE(r1.max_occupancy, 2);
+    EXPECT_EQ(r1.attempts, static_cast<std::uint64_t>(6 * 6));
+    EXPECT_EQ(r1.acquired + r1.aborted, r1.attempts);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,380 @@
+// The abortable extension: cancellation tokens, try/timed acquires, and
+// the invariants an abort must preserve.
+//
+//   * cancel_token unit semantics — budget consumption, deadline
+//     sampling, external cancel precedence, reset;
+//   * try_acquire / bounded acquire against a fully-occupied object:
+//     with all k slots held, a fired token must abort (and report why)
+//     for every abortable algorithm; releasing restores full capacity;
+//   * aborts leave no residue — after hundreds of abandoned attempts
+//     the object still admits every process, one at a time, with no
+//     leaked slot or stalled grant lineage;
+//   * crash-mid-abort burns at most the crasher's own slot (stepped
+//     statement-offset sweep, the resilience test's abort analogue);
+//   * grant-racing-abort is explored exhaustively at the level
+//     granularity: whatever interleaving the CAS race takes, exactly
+//     one of {waiter keeps slot, waiter aborts and slot is free} holds;
+//   * the real platform honors wall-clock deadlines (acquire_for);
+//   * the any_kex surface: abortable() matches the catalog predicate,
+//     and the timed entry points on a non-abortable algorithm throw
+//     instead of silently blocking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "kex/any_kex.h"
+#include "kex_common.h"
+#include "platform/cancel.h"
+#include "platform/real.h"
+#include "platform/stepper.h"
+#include "runtime/cs_monitor.h"
+
+namespace {
+
+using kex::cancel_reason;
+using kex::cancel_token;
+using kex::cost_model;
+using kex::cs_monitor;
+using real = kex::real_platform;
+using sim = kex::sim_platform;
+
+// ---------------------------------------------------------------- tokens
+
+TEST(CancelToken, FiredTokenIsBornFired) {
+  cancel_token tk = cancel_token::fired_token();
+  EXPECT_TRUE(tk.fired());
+  EXPECT_EQ(tk.reason(), cancel_reason::budget);
+  EXPECT_TRUE(tk.tick());
+}
+
+TEST(CancelToken, BudgetFiresAfterExactlyNTicks) {
+  cancel_token tk = cancel_token::with_budget(3);
+  EXPECT_FALSE(tk.fired());
+  EXPECT_FALSE(tk.tick());
+  EXPECT_FALSE(tk.tick());
+  EXPECT_TRUE(tk.tick());  // third consumed tick fires
+  EXPECT_TRUE(tk.fired());
+  EXPECT_EQ(tk.reason(), cancel_reason::budget);
+}
+
+TEST(CancelToken, DeadlineObservedByTickNotFired) {
+  cancel_token tk =
+      cancel_token::with_deadline(cancel_token::clock::now() -
+                                  std::chrono::milliseconds(1));
+  // fired() never samples the clock; only tick() notices the deadline.
+  EXPECT_FALSE(tk.fired());
+  EXPECT_TRUE(tk.tick());
+  EXPECT_TRUE(tk.fired());
+  EXPECT_EQ(tk.reason(), cancel_reason::deadline);
+}
+
+TEST(CancelToken, CancelWinsOverLaterExpiry) {
+  cancel_token tk = cancel_token::with_budget(1);
+  tk.cancel();
+  EXPECT_TRUE(tk.tick());
+  EXPECT_EQ(tk.reason(), cancel_reason::cancelled);
+}
+
+TEST(CancelToken, ResetRestoresTheBudget) {
+  cancel_token tk = cancel_token::with_budget(2);
+  EXPECT_FALSE(tk.tick());
+  EXPECT_TRUE(tk.tick());
+  tk.reset();
+  EXPECT_FALSE(tk.fired());
+  EXPECT_FALSE(tk.tick());
+  EXPECT_TRUE(tk.tick());
+  EXPECT_EQ(tk.reason(), cancel_reason::budget);
+}
+
+// ------------------------------------------- full-occupancy try/timeout
+
+// Hold all k slots from k real threads, then probe from an outsider:
+// a fired token must fail without waiting, a budget token must time out
+// with the budget reason.  After release, the outsider gets in plainly.
+void check_full_occupancy_abort(const std::string& name, int n, int k) {
+  SCOPED_TRACE(name);
+  auto alg = kex::make_kex<sim>(name, n, k);
+  kex::process_set<sim> procs(n, cost_model::cc);
+  std::atomic<int> held{0};
+  std::atomic<bool> release_now{false};
+  std::vector<std::thread> holders;
+  for (int pid = 0; pid < k; ++pid) {
+    holders.emplace_back([&, pid] {
+      auto& p = procs[pid];
+      alg.acquire(p);
+      held.fetch_add(1);
+      while (!release_now.load()) std::this_thread::yield();
+      alg.release(p);
+    });
+  }
+  while (held.load() < k) std::this_thread::yield();
+
+  auto& outsider = procs[k];
+  {
+    cancel_token tk = cancel_token::fired_token();
+    EXPECT_FALSE(alg.acquire_cancellable(outsider, tk))
+        << "try_acquire succeeded with every slot held";
+  }
+  EXPECT_FALSE(alg.try_acquire(outsider));
+  {
+    cancel_token tk = cancel_token::with_budget(64);
+    EXPECT_FALSE(alg.acquire_cancellable(outsider, tk));
+    EXPECT_EQ(tk.reason(), cancel_reason::budget);
+  }
+
+  release_now.store(true);
+  for (auto& t : holders) t.join();
+
+  // The aborted attempts left no residue: the outsider (and then every
+  // process, one at a time) still gets a slot without waiting forever.
+  ASSERT_TRUE(alg.try_acquire(outsider));
+  alg.release(outsider);
+  for (int pid = 0; pid < n; ++pid) {
+    alg.acquire(procs[pid]);
+    alg.release(procs[pid]);
+  }
+}
+
+TEST(Abortable, FullOccupancyAbortsCleanly) {
+  for (const auto& name : kex::kex_catalog())
+    if (kex::kex_is_abortable(name)) check_full_occupancy_abort(name, 6, 2);
+}
+
+// Storm of abandoned attempts against a fully-held object: with all k
+// slots parked, every budgeted attempt must abort, and hundreds of such
+// backouts must not consume anything — the object comes out with its
+// full capacity.
+void check_no_residue(const std::string& name, int n, int k) {
+  SCOPED_TRACE(name);
+  auto alg = kex::make_kex<sim>(name, n, k);
+  kex::process_set<sim> procs(n, cost_model::cc);
+  std::atomic<bool> release_now{false};
+  std::atomic<int> held{0};
+  std::vector<std::thread> holders;
+  for (int pid = 0; pid < k; ++pid) {
+    holders.emplace_back([&, pid] {
+      alg.acquire(procs[pid]);
+      held.fetch_add(1);
+      while (!release_now.load()) std::this_thread::yield();
+      alg.release(procs[pid]);
+    });
+  }
+  while (held.load() < k) std::this_thread::yield();
+
+  int aborted = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int pid = k; pid < n; ++pid) {
+      cancel_token tk = cancel_token::with_budget(1 + round % 3);
+      if (alg.acquire_cancellable(procs[pid], tk))
+        alg.release(procs[pid]);  // a hole opened by scheduling: fine
+      else
+        ++aborted;
+    }
+  }
+  release_now.store(true);
+  for (auto& t : holders) t.join();
+
+  EXPECT_GT(aborted, 0) << "storm produced no aborts; raise contention";
+  for (int pid = 0; pid < n; ++pid) {
+    ASSERT_TRUE(alg.try_acquire(procs[pid])) << "leaked slot, pid " << pid;
+    alg.release(procs[pid]);
+  }
+}
+
+TEST(Abortable, AbortStormLeavesNoResidue) {
+  for (const auto& name : kex::kex_catalog())
+    if (kex::kex_is_abortable(name)) check_no_residue(name, 4, 2);
+}
+
+// --------------------------------------------------- crash mid-abort
+
+// Deterministic statement-offset sweep: the doomed process attempts with
+// a budget-1 token (so it is aborting almost immediately) and dies
+// `offset` shared accesses in — for small offsets inside the entry
+// section, later inside the abort backout itself.  Wherever it dies, it
+// burns at most its own slot: both survivors finish every cycle and
+// occupancy never exceeds k.
+void check_crash_mid_abort(const std::string& name, int n, int k) {
+  for (std::uint64_t offset = 1; offset <= 14; ++offset) {
+    SCOPED_TRACE(::testing::Message() << name << " offset=" << offset);
+    auto alg = std::make_shared<kex::any_kex<sim>>(
+        kex::make_kex<sim>(name, n, k));
+    auto monitor = std::make_shared<cs_monitor>();
+    std::atomic<int> completed{0};
+    std::atomic<bool> over{false};
+    constexpr int iters = 4;
+    std::vector<std::function<void(sim::proc&)>> scripts;
+    for (int pid = 0; pid < n; ++pid) {
+      if (pid == 1) {
+        scripts.emplace_back([alg, offset](sim::proc& p) {
+          p.fail_after(offset);
+          for (;;) {  // dies mid-attempt or mid-backout
+            cancel_token tk = cancel_token::with_budget(1);
+            if (alg->acquire_cancellable(p, tk)) alg->release(p);
+          }
+        });
+        continue;
+      }
+      if (pid >= 3) {
+        scripts.emplace_back([](sim::proc&) {});
+        continue;
+      }
+      scripts.emplace_back([alg, monitor, &completed, &over, k](sim::proc& p) {
+        for (int i = 0; i < iters; ++i) {
+          alg->acquire(p);
+          monitor->enter();
+          if (monitor->occupancy() > k) over.store(true);
+          monitor->exit();
+          alg->release(p);
+        }
+        completed.fetch_add(1);
+      });
+    }
+    kex::stepped_options sopt;
+    sopt.model = cost_model::cc;
+    auto outcome = kex::run_stepped(std::move(scripts), {}, sopt);
+    EXPECT_FALSE(outcome.deadlocked) << "survivors wedged";
+    EXPECT_EQ(completed.load(), 2);
+    EXPECT_FALSE(over.load());
+  }
+}
+
+TEST(Abortable, CrashMidAbortBurnsAtMostOneSlot) {
+  for (const auto& name : kex::kex_catalog())
+    if (kex::kex_is_abortable(name)) check_crash_mid_abort(name, 4, 2);
+}
+
+// ------------------------------------------ grant-vs-abort, all orders
+
+// k=1 distills the race to a single level: pid 0 holds/releases while
+// pid 1 attempts with a budget-1 token — the token fires on the very
+// first wait probe, so the abort and the grant collide as tightly as
+// the schedule allows.  Every interleaving must end with pid 1 able to
+// acquire plainly afterwards (slot neither lost nor double-granted).
+TEST(Abortable, GrantRacingAbortAllInterleavings) {
+  constexpr int depth = 7;
+  for (const auto& name : kex::kex_catalog()) {
+    if (!kex::kex_is_abortable(name)) continue;
+    SCOPED_TRACE(name);
+    std::shared_ptr<std::atomic<int>> last_entries;
+    long runs = kex::explore_all(
+        2, depth,
+        [&] {
+          auto alg = std::make_shared<kex::any_kex<sim>>(
+              kex::make_kex<sim>(name, 2, 1));
+          auto monitor = std::make_shared<cs_monitor>();
+          auto entries = std::make_shared<std::atomic<int>>(0);
+          last_entries = entries;
+          std::vector<std::function<void(sim::proc&)>> scripts;
+          scripts.emplace_back([alg, monitor, entries](sim::proc& p) {
+            for (int i = 0; i < 2; ++i) {
+              alg->acquire(p);
+              monitor->enter();
+              if (monitor->occupancy() <= 1) entries->fetch_add(1);
+              monitor->exit();
+              alg->release(p);
+            }
+          });
+          scripts.emplace_back([alg, monitor, entries](sim::proc& p) {
+            cancel_token tk = cancel_token::with_budget(1);
+            if (alg->acquire_cancellable(p, tk)) alg->release(p);
+            // Whatever the race decided, the slot must be recoverable.
+            alg->acquire(p);
+            monitor->enter();
+            if (monitor->occupancy() <= 1) entries->fetch_add(1);
+            monitor->exit();
+            alg->release(p);
+          });
+          return scripts;
+        },
+        [&](const kex::explore_outcome& outcome) {
+          ASSERT_FALSE(outcome.deadlocked)
+              << name << " schedule " << outcome.schedule << " wedged";
+          ASSERT_GE(last_entries->load(), 3)
+              << name << " schedule " << outcome.schedule;
+        });
+    EXPECT_EQ(runs, 1L << depth);
+  }
+}
+
+// ---------------------------------------------------- real platform
+
+TEST(AbortableReal, AcquireForHonorsTheDeadline) {
+  auto alg = kex::make_kex<real>("cc_fast", 8, 2);
+  kex::process_set<real> procs(8);
+  std::atomic<int> held{0};
+  std::atomic<bool> release_now{false};
+  std::vector<std::thread> holders;
+  for (int pid = 0; pid < 2; ++pid) {
+    holders.emplace_back([&, pid] {
+      alg.acquire(procs[pid]);
+      held.fetch_add(1);
+      while (!release_now.load()) std::this_thread::yield();
+      alg.release(procs[pid]);
+    });
+  }
+  while (held.load() < 2) std::this_thread::yield();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(alg.acquire_for(procs[2], std::chrono::milliseconds(5)));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(5));
+  EXPECT_FALSE(
+      alg.acquire_until(procs[2], cancel_token::clock::now()));
+
+  release_now.store(true);
+  for (auto& t : holders) t.join();
+  EXPECT_TRUE(alg.acquire_for(procs[2], std::chrono::seconds(10)));
+  alg.release(procs[2]);
+}
+
+TEST(AbortableReal, ExternalCancelUnblocksAWaiter) {
+  kex::cc_inductive<real> alg(4, 1);
+  kex::process_set<real> procs(4);
+  alg.acquire(procs[0]);
+  cancel_token tk;  // unarmed: fires only via cancel()
+  std::atomic<bool> aborted{false};
+  std::thread waiter([&] {
+    aborted.store(!alg.acquire_cancellable(procs[1], tk));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  tk.cancel();
+  waiter.join();
+  EXPECT_TRUE(aborted.load());
+  EXPECT_EQ(tk.reason(), cancel_reason::cancelled);
+  alg.release(procs[0]);
+  EXPECT_TRUE(alg.try_acquire(procs[1]));
+  alg.release(procs[1]);
+}
+
+// ------------------------------------------------------- any_kex surface
+
+TEST(AnyKexAbortable, FlagMatchesTheCatalogPredicate) {
+  for (const auto& name : kex::kex_catalog()) {
+    // The k=1-only baselines reject k=2 shapes; give them what they take.
+    const int k = (name == "mcs" || name == "ya") ? 1 : 2;
+    auto alg = kex::make_kex<sim>(name, 6, k);
+    EXPECT_EQ(alg.abortable(), kex::kex_is_abortable(name)) << name;
+  }
+}
+
+TEST(AnyKexAbortable, NonAbortableTimedEntryPointsThrow) {
+  auto alg = kex::make_kex<sim>("ticket", 4, 2);
+  kex::process_set<sim> procs(4, cost_model::cc);
+  ASSERT_FALSE(alg.abortable());
+  EXPECT_THROW((void)alg.try_acquire(procs[0]), kex::invariant_violation);
+  EXPECT_THROW(
+      (void)alg.acquire_for(procs[0], std::chrono::milliseconds(1)),
+      kex::invariant_violation);
+  // The object is untouched by the refusals: a plain acquire still works.
+  alg.acquire(procs[0]);
+  alg.release(procs[0]);
+}
+
+}  // namespace

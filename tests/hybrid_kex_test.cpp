@@ -238,6 +238,77 @@ TEST(HybridKex, CrashWhileQueuedBurnsAtMostOneSlot) {
   }
 }
 
+// Patience-boundary race, the regression distilled: a waiter with the
+// shortest useful patience sits behind a predecessor that dies at a
+// swept statement offset of its *release* — so across the sweep the
+// death lands before the handoff write, on it, and after it, bracketing
+// the exact moment the waiter's bounded wait expires.  Whichever side
+// wins, the waiter must resolve its attempt exactly once (grant taken
+// XOR timeout reclaim through the tree) — never a double admission
+// (conservation would show handoffs + tree entries exceeding CS
+// entries), never a wedge, and the dead predecessor burns at most its
+// own slot.
+TEST(HybridKex, PredecessorDyingAtPatienceExpiryResolvesOnce) {
+  for (std::uint64_t offset = 1; offset <= 12; ++offset) {
+    SCOPED_TRACE(::testing::Message() << "offset=" << offset);
+    hybrid_options opt;
+    opt.patience = 2;  // waiter gives up almost immediately
+    auto alg = std::make_shared<hybrid>(4, 2, 4, kex::leaf_assignment{}, opt);
+    cs_monitor monitor;
+    std::atomic<int> completed{0};
+    std::atomic<bool> over_occupancy{false};
+    std::vector<std::function<void(sim::proc&)>> scripts;
+    for (int pid = 0; pid < 4; ++pid) {
+      if (pid == 0) {
+        // Predecessor: acquires cleanly, then dies `offset` accesses
+        // into its release — around the handoff to pid 1's node.
+        scripts.emplace_back([alg, offset](sim::proc& p) {
+          alg->acquire(p);
+          p.fail_after(offset);
+          alg->release(p);
+        });
+        continue;
+      }
+      if (pid == 3) {
+        scripts.emplace_back([](sim::proc&) {});
+        continue;
+      }
+      // pid 1 queues behind pid 0 (same leaf); pid 2 keeps the grant
+      // lineage moving from the other leaf.
+      const int cycles = pid == 1 ? 1 : 3;
+      scripts.emplace_back([alg, &monitor, &completed, &over_occupancy,
+                            cycles](sim::proc& p) {
+        for (int i = 0; i < cycles; ++i) {
+          alg->acquire(p);
+          monitor.enter();
+          if (monitor.occupancy() > 2) over_occupancy.store(true);
+          monitor.exit();
+          alg->release(p);
+        }
+        completed.fetch_add(1);
+      });
+    }
+    // Drive pid 0 through its acquire and into the armed release before
+    // the waiter starts, so the death really brackets the handoff.
+    std::vector<int> prefix;
+    for (int i = 0; i < 30; ++i) {
+      prefix.push_back(0);
+      prefix.push_back(1);
+    }
+    stepped_options sopt;
+    sopt.model = cost_model::cc;
+    auto outcome = run_stepped(std::move(scripts), prefix, sopt);
+    EXPECT_FALSE(outcome.deadlocked)
+        << "waiter wedged behind the dead predecessor";
+    EXPECT_EQ(completed.load(), 2);
+    EXPECT_FALSE(over_occupancy.load());
+    // At most pid 0's own admission stays burned; had the waiter both
+    // taken the grant and reclaimed through the tree, the books would
+    // show an extra admission here.
+    expect_conserved(alg->stats(), alg->stats().acquires(), 1);
+  }
+}
+
 // The headline, held deterministically: amortized RMRs per acquire under
 // the stepped meter, hybrid strictly below the pure tree it wraps, with
 // most acquisitions served by handoff.

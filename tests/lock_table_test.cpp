@@ -210,6 +210,60 @@ TEST(LockTableCrash, CrashInCsIsContainedToOneShardSlot) {
   EXPECT_TRUE(static_cast<bool>(g));
 }
 
+// Cancellable guards: with the shard held, a try must fail without
+// waiting, a budget acquire must time out, an external cancel must
+// abort — and the shard books each outcome under the right counter
+// (aborts = cancel(), timeouts = deadline/budget, attempts = the sum).
+TEST(LockTableAbort, CancellableGuardsCountAbortsAndTimeouts) {
+  lock_table<sim> table(2, "cc_inductive", 4, 1);
+  ASSERT_TRUE(table.abortable());
+  process_set<sim> procs(4, cost_model::cc);
+  const std::uint64_t key = 7;
+
+  auto g = table.acquire(procs[0], key);
+  ASSERT_TRUE(static_cast<bool>(g));
+
+  EXPECT_FALSE(static_cast<bool>(table.try_acquire(procs[1], key)));
+  {
+    cancel_token tk = cancel_token::with_budget(4);
+    EXPECT_FALSE(static_cast<bool>(table.acquire(procs[1], key, tk)));
+    EXPECT_EQ(tk.reason(), cancel_reason::budget);
+  }
+  {
+    cancel_token tk;
+    tk.cancel();
+    EXPECT_FALSE(static_cast<bool>(table.acquire(procs[1], key, tk)));
+  }
+
+  auto st = table.stats();
+  EXPECT_EQ(st.total_acquires(), 1u);
+  EXPECT_EQ(st.total_timeouts(), 2u);  // the try + the budget expiry
+  EXPECT_EQ(st.total_aborts(), 1u);    // the external cancel
+  EXPECT_EQ(st.total_attempts(), 4u);
+
+  // The failed attempts left the shard intact: release, and a try gets
+  // in immediately.
+  g.release();
+  auto g2 = table.try_acquire(procs[1], key);
+  EXPECT_TRUE(static_cast<bool>(g2));
+  g2.release();
+  EXPECT_EQ(table.stats().total_acquires(), 2u);
+  EXPECT_EQ(table.stats().total_attempts(), 5u);
+}
+
+// A table sharded over a non-abortable algorithm refuses the timed
+// surface loudly instead of blocking forever.
+TEST(LockTableAbort, NonAbortableShardsRefuseTimedAcquires) {
+  lock_table<sim> table(2, "ticket", 4, 1);
+  ASSERT_FALSE(table.abortable());
+  process_set<sim> procs(4, cost_model::cc);
+  EXPECT_THROW((void)table.try_acquire(procs[0], std::uint64_t{1}),
+               invariant_violation);
+  // The plain surface is unaffected.
+  auto g = table.acquire(procs[0], std::uint64_t{1});
+  EXPECT_TRUE(static_cast<bool>(g));
+}
+
 // Exhaustive interleaving exploration on a 2-shard table (stepper):
 // every schedule prefix of two procs working disjoint shards completes
 // without deadlock, and no probed state ever shows a shard above k.

@@ -217,6 +217,93 @@ TEST(SessionRegistryCrash, CrashWhileHoldingBurnsExactlyOneSlot) {
   EXPECT_EQ(reg.capacity_remaining(), 2);
 }
 
+// --- cancellable attach: aborts must not burn --------------------------
+//
+// An attach abandoned by a fired cancel token returns its gate slot and
+// holds no name bit, so capacity_remaining() must stay exact — no
+// phantom burned slots — across any token budget.  (Budgets large
+// enough to finish the scan succeed instead; both outcomes leave the
+// registry clean.)
+TEST(SessionRegistryAbort, AbortedAttachBurnsNothing) {
+  constexpr int CAP = 3;
+  session_registry<sim> reg(CAP);
+  // Two leased pids make the scan walk over taken bits before the free
+  // one, giving small budgets something to expire on.
+  auto a = reg.attach();
+  auto b = reg.attach();
+  std::uint64_t aborted_before = reg.aborted_attaches();
+  for (std::uint64_t budget = 0; budget <= 5; ++budget) {
+    cancel_token tk = cancel_token::with_budget(budget);
+    auto s = reg.try_attach(tk);
+    if (s) s->detach();
+    EXPECT_EQ(reg.burned(), 0) << "budget " << budget;
+    EXPECT_EQ(reg.capacity_remaining(), CAP) << "budget " << budget;
+  }
+  EXPECT_GT(reg.aborted_attaches(), aborted_before)
+      << "no budget in the sweep actually aborted";
+  a.detach();
+  b.detach();
+  EXPECT_EQ(fill_and_drain(reg), CAP);
+  EXPECT_EQ(reg.burned(), 0);
+}
+
+// Crash-at-every-statement during a cancelled attach — including on the
+// gate-restoring increment of the abort path itself.  A crash anywhere
+// is the ordinary crash case: exactly one slot burned at the throw
+// site, and the registry's arithmetic stays exact (what
+// capacity_remaining() reports is what actually fits).
+TEST(SessionRegistryAbort, CrashMidAbortedAttachBurnsExactlyOneSlot) {
+  constexpr int CAP = 3;
+  for (std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{2},
+                               std::uint64_t{8}}) {
+    bool saw_crash = false;
+    for (std::uint64_t off = 1; off <= 10; ++off) {
+      SCOPED_TRACE(::testing::Message()
+                   << "budget=" << budget << " offset=" << off);
+      session_registry<sim> reg(CAP);
+      cancel_token tk = cancel_token::with_budget(budget);
+      bool crashed = false;
+      try {
+        auto s =
+            reg.try_attach([&](sim::proc& p) { p.fail_after(off); }, tk);
+        if (s) s->detach();
+      } catch (const process_failed&) {
+        crashed = true;
+      }
+      saw_crash |= crashed;
+      // At most one slot burns, wherever the death lands: a crash on
+      // the very first gate access consumes nothing, a crash during an
+      // attach or abort propagates (crashed == true), and a crash in
+      // the successful-lease detach is swallowed there (crashed ==
+      // false, slot still burned).  Either way the arithmetic below
+      // must stay exact.
+      EXPECT_LE(reg.burned(), 1);
+      EXPECT_EQ(reg.active(), 0);
+      EXPECT_EQ(reg.capacity_remaining(), CAP - reg.burned());
+      EXPECT_EQ(fill_and_drain(reg), reg.capacity_remaining());
+    }
+    EXPECT_TRUE(saw_crash) << "offset sweep never crashed, budget "
+                           << budget;
+  }
+}
+
+// The same abort accounting through the bitmask pool's CAS loop.
+TEST(SessionRegistryAbort, BitmaskAbortedAttachBurnsNothing) {
+  constexpr int CAP = 3;
+  bitmask_session_registry<sim> reg(CAP);
+  auto held = reg.attach();
+  for (std::uint64_t budget = 0; budget <= 3; ++budget) {
+    cancel_token tk = cancel_token::with_budget(budget);
+    auto s = reg.try_attach(tk);
+    if (s) s->detach();
+    EXPECT_EQ(reg.burned(), 0);
+    EXPECT_EQ(reg.capacity_remaining(), CAP);
+  }
+  EXPECT_GE(reg.aborted_attaches(), 1u);
+  held.detach();
+  EXPECT_EQ(fill_and_drain(reg), CAP);
+}
+
 // Crashes can exhaust the registry entirely — the service-level analogue
 // of the k-th failure exhausting a k-exclusion object's resilience.
 TEST(SessionRegistryCrash, AllSlotsCanBurn) {

@@ -1,0 +1,151 @@
+// Abort-storm driver: the robustness gate for the abortable entry
+// sections.
+//
+// For every abortable catalog algorithm this runs a matrix of seeded
+// storms (runtime/abort_storm.h) — plain aborts, budget timeouts with
+// retry/backoff, and crashes injected at statement offsets so some land
+// mid-abort — and holds each to the harness's two verdicts: occupancy
+// never exceeded k, and every survivor could still acquire afterwards
+// (no abort leaked a slot, no crash consumed more than its one slot of
+// the (k-1) budget).  A deterministic stepped row per algorithm reports
+// the amortized remote references per attempt, aborts included.
+//
+// Usage:
+//   abort_storm [--algs a,b] [--seeds N] [--nprocs N] [--k K]
+//               [--iterations N] [--topology spec] [--pin policy]
+//               [--json out.json]
+//
+// Exit status: 0 iff every storm passed — CI runs this as a smoke gate.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kex/any_kex.h"
+#include "platform/topology.h"
+#include "runtime/abort_storm.h"
+#include "runtime/bench_json.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int to_int(const std::string& s, int fallback) {
+  return s.empty() ? fallback : std::atoi(s.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = kex::bench_json::consume_json_flag(argc, argv);
+  std::string topo_spec = kex::bench_json::consume_flag(argc, argv, "topology");
+  std::string pin_spec = kex::bench_json::consume_flag(argc, argv, "pin");
+  std::string algs_csv = kex::bench_json::consume_flag(argc, argv, "algs");
+  const int seeds =
+      to_int(kex::bench_json::consume_flag(argc, argv, "seeds"), 3);
+  const int nprocs =
+      to_int(kex::bench_json::consume_flag(argc, argv, "nprocs"), 8);
+  const int k = to_int(kex::bench_json::consume_flag(argc, argv, "k"), 3);
+  const int iterations =
+      to_int(kex::bench_json::consume_flag(argc, argv, "iterations"), 150);
+  if (!topo_spec.empty())
+    kex::set_global_topology(kex::topology::from_spec(topo_spec));
+  if (!pin_spec.empty())
+    kex::set_global_pin_policy(kex::parse_pin_policy(pin_spec));
+
+  std::vector<std::string> algs;
+  if (!algs_csv.empty()) {
+    algs = split_csv(algs_csv);
+  } else {
+    for (const auto& name : kex::kex_catalog())
+      if (kex::kex_is_abortable(name)) algs.push_back(name);
+  }
+
+  kex::bench_json out("abort_storm");
+  out.label("nprocs", std::to_string(nprocs));
+  out.label("k", std::to_string(k));
+  out.label("seeds", std::to_string(seeds));
+
+  bool all_ok = true;
+  std::printf("%-14s %5s %8s %9s %9s %8s %8s %7s %5s %s\n", "alg", "seed",
+              "crashers", "attempts", "acquired", "aborted", "retries",
+              "crashes", "occ", "verdict");
+  for (const auto& name : algs) {
+    if (!kex::make_kex<kex::sim_platform>(name, nprocs, k).abortable()) {
+      std::printf("%-14s skipped: not abortable\n", name.c_str());
+      continue;
+    }
+    // Crash-free storms shake the abort/timeout/retry mix; the crasher
+    // storms add k-1 doomed processes whose statement-offset deaths land
+    // in entry sections, abort backouts and releases alike.
+    for (int crashers : {0, k - 1}) {
+      for (int seed = 1; seed <= seeds; ++seed) {
+        // Fresh instance per storm: crashes burn slots permanently, and
+        // accumulating them across storms would blow the (k-1) budget
+        // the harness's liveness verdict assumes.
+        auto alg = kex::make_kex<kex::sim_platform>(name, nprocs, k);
+        kex::abort_storm_options opt;
+        opt.nprocs = nprocs;
+        opt.k = k;
+        opt.iterations = iterations;
+        opt.seed = static_cast<std::uint32_t>(seed);
+        opt.crashers = crashers;
+        // Sweep the crash offset with the seed so deaths move across the
+        // protocol statements from storm to storm.
+        opt.crash_offset = static_cast<std::uint32_t>(2 + 5 * seed);
+        auto r = kex::run_abort_storm(alg, opt);
+        all_ok = all_ok && r.ok;
+        std::printf("%-14s %5d %8d %9llu %9llu %8llu %8llu %7d %5d %s\n",
+                    name.c_str(), seed, crashers,
+                    static_cast<unsigned long long>(r.attempts),
+                    static_cast<unsigned long long>(r.acquired),
+                    static_cast<unsigned long long>(r.aborted),
+                    static_cast<unsigned long long>(r.retries), r.crashes,
+                    r.max_occupancy, r.ok ? "ok" : "FAIL");
+        out.add("storm/alg:" + name + "/seed:" + std::to_string(seed) +
+                "/crashers:" + std::to_string(crashers))
+            .label("alg", name)
+            .metric("attempts", static_cast<double>(r.attempts))
+            .metric("acquired", static_cast<double>(r.acquired))
+            .metric("aborts", static_cast<double>(r.aborted))
+            .metric("retries", static_cast<double>(r.retries))
+            .metric("crashes", r.crashes)
+            .metric("max_occupancy", r.max_occupancy)
+            .metric("ok", r.ok ? 1.0 : 0.0);
+      }
+    }
+    // Deterministic amortized abort cost (fresh instance: the storms
+    // above burned crashed slots in `alg`).
+    auto fresh = kex::make_kex<kex::sim_platform>(name, nprocs, k);
+    const auto rmr = kex::measure_abort_rmr_stepped(fresh, nprocs, 8,
+                                                    kex::cost_model::cc);
+    std::printf("%-14s stepped: %.3f amortized RMR/attempt over %llu "
+                "attempts (%llu aborted)\n",
+                name.c_str(), rmr.amortized_per_attempt,
+                static_cast<unsigned long long>(rmr.attempts),
+                static_cast<unsigned long long>(rmr.aborted));
+    out.add("abort_rmr/alg:" + name + "/c:" + std::to_string(nprocs))
+        .label("alg", name)
+        .metric("amortized_rmr_per_attempt", rmr.amortized_per_attempt)
+        .metric("worst_attempt_rmr", static_cast<double>(rmr.max_attempt))
+        .metric("attempts", static_cast<double>(rmr.attempts))
+        .metric("aborts", static_cast<double>(rmr.aborted))
+        .metric("max_occupancy", rmr.max_occupancy);
+    all_ok = all_ok && rmr.max_occupancy <= k;
+  }
+
+  if (!json_path.empty() && !out.write(json_path)) return 1;
+  std::printf("abort_storm: %s\n", all_ok ? "all storms passed" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

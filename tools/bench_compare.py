@@ -44,7 +44,13 @@ import sys
 # Substrings classifying a metric's direction.  Checked in order:
 # context first, then lower-better, then higher-better; unknown metrics
 # are skipped with a note (a new metric should be classified here).
-CONTEXT = ("iterations", "shards", "threads", "max_occupancy", "fast_hit")
+CONTEXT = ("iterations", "shards", "threads", "max_occupancy", "fast_hit",
+           # Abort-storm counters: workload composition, not performance.
+           # Plural forms only — "amortized_rmr_per_attempt" and
+           # "amortized_rmr_per_acquire" must still classify by their
+           # "_rmr" suffix.
+           "attempts", "acquires", "aborts", "timeouts", "retries",
+           "crashes")
 # Tail-latency percentiles are tracked but never gate: on shared runners a
 # single preemption inside one acquire lands in the tail, swinging p99/p999
 # an order of magnitude between back-to-back runs.  Only the median is
