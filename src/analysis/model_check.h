@@ -1,0 +1,1191 @@
+// Stateless model checking over COMPLETE executions — sleep sets plus
+// dynamic partial-order reduction (Flanagan & Godefroid style) on top of
+// the sim platform's step gate.
+//
+// stepper.h's explore_all enumerates every schedule PREFIX of bounded
+// depth; the paper's proofs quantify over whole histories.  This checker
+// closes that gap:
+//
+//   * Blocking-await transformation.  Unbounded spin loops (var::await,
+//     var::await_while, sim_platform::poll) report each failed predicate
+//     probe through step_gate::on_spin_fail; the checker then treats the
+//     process as DISABLED until another process writes the awaited
+//     variable.  Spinning in place — re-reading an unchanged variable —
+//     commutes with everything and changes no state, so pruning it loses
+//     no behaviours, makes every execution finite (writes are finite),
+//     and turns a lost wakeup into a detectable deadlock: every live
+//     process disabled with no enabling write left.  Bounded waits
+//     (await_bounded / await_cancellable) keep stepping so their timeout,
+//     patience, and abort arms stay explorable.
+//
+//   * Dynamic partial-order reduction.  Two steps are dependent iff they
+//     touch the same variable and at least one is a write-class primitive
+//     (is_write_op; a failed CAS counts as a read, a pending CAS as a
+//     write — intent is only resolved after execution).  After each
+//     complete execution, a vector-clock pass over the executed steps
+//     finds racing pairs and schedules the reversal at the earlier step's
+//     pre-state (backtrack sets); sleep sets prune schedules that only
+//     permute independent steps.  When the racing process was not enabled
+//     at the pre-state, every enabled process is added instead — the
+//     conservative fallback that keeps the reduction sound in the
+//     presence of blocking.  With dpor and sleep_sets both off the same
+//     loop degenerates to brute-force DFS over all complete executions
+//     (feasible only for tiny cases; the tests cross-check the two modes
+//     against each other).
+//
+// check_kex() layers the paper's properties on the explorer: ≤k CS
+// occupancy, no lost wakeup (deadlock with ≤ k-1 crashes), bounded exit
+// section, post-quiescence cleanliness (after everyone finishes, exactly
+// the un-burned slots are acquirable — a leaked slot and a resurrected
+// slot both fail the probe), plus the spin_lint / race_check / atomicity
+// verdicts folded in per execution.  A violation carries the full
+// schedule; replay_kex / mc_run_schedule re-execute it deterministically.
+#pragma once
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KEX_MC_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define KEX_MC_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define KEX_MC_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define KEX_MC_TSAN 1
+#endif
+#ifdef KEX_MC_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef KEX_MC_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+#include "analysis/atomicity.h"
+#include "analysis/race_check.h"
+#include "analysis/spin_lint.h"
+#include "analysis/trace.h"
+#include "common/check.h"
+#include "kex/any_kex.h"
+#include "platform/cancel.h"
+#include "platform/sim.h"
+#include "runtime/process_group.h"
+
+namespace kex::analysis {
+
+// ---------------------------------------------------------------------------
+// Explorer surface
+
+struct mc_options {
+  cost_model model = cost_model::cc;
+  // A single execution exceeding this many steps is reported livelocked
+  // (with the blocking transformation this only fires on genuine
+  // non-quiescent loops, e.g. an unbounded retry ping-pong).
+  long max_steps_per_exec = 50000;
+  long max_executions = 0;  // 0 = explore to closure
+  bool dpor = true;         // race-driven backtrack sets
+  bool sleep_sets = true;   // prune independent permutations
+  // Runs against the fresh process set before workers start (attach
+  // observers, declare DSM owners) — same contract as stepped_options.
+  std::function<void(process_set<sim_platform>&)> setup = {};
+  // After every granted step, while all processes are parked — the global
+  // quiescent point where state invariants are checked.
+  std::function<void(int pid)> on_step = {};
+  // Polled after each verified execution; returning true stops the
+  // exploration (e.g. first violation found).
+  std::function<bool()> stop = {};
+};
+
+struct mc_outcome {
+  bool deadlocked = false;  // every live process disabled
+  bool livelocked = false;  // max_steps_per_exec exceeded
+  int script_errors = 0;    // non-crash exceptions that escaped scripts
+  std::vector<int> schedule;
+  std::vector<int> blocked_at_deadlock;
+};
+
+struct mc_stats {
+  long executions = 0;        // complete executions verified
+  long sleep_cutoffs = 0;     // paths pruned by sleep sets
+  long backtrack_points = 0;  // race reversals scheduled by DPOR
+  long steps = 0;             // total granted steps
+  long max_depth = 0;         // longest execution
+  bool capped = false;        // max_executions hit with work remaining
+  bool stopped = false;       // options.stop() asked to halt
+};
+
+inline std::string format_schedule(const std::vector<int>& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (int pid : s)
+    out.push_back(pid >= 0 && pid < 10 ? static_cast<char>('0' + pid) : '?');
+  return out;
+}
+
+inline std::vector<int> parse_schedule(const std::string& s) {
+  std::vector<int> out;
+  out.reserve(s.size());
+  for (char c : s) {
+    KEX_CHECK_MSG(c >= '0' && c <= '9', "parse_schedule: pid digits only");
+    out.push_back(c - '0');
+  }
+  return out;
+}
+
+namespace mc_detail {
+
+// Sanitizer fiber annotations: the gate below switches between ucontext
+// fibers, which ASan/TSan must be told about or their shadow-stack
+// bookkeeping corrupts across swapcontext (KEX_MC_ASAN / KEX_MC_TSAN are
+// set next to the includes above).  No-ops in plain builds.
+#ifdef KEX_MC_ASAN
+inline void san_switch_begin(void** fake_save, const void* bottom,
+                             std::size_t size) {
+  __sanitizer_start_switch_fiber(fake_save, bottom, size);
+}
+inline void san_switch_end(void* fake_save, const void** old_bottom,
+                           std::size_t* old_size) {
+  __sanitizer_finish_switch_fiber(fake_save, old_bottom, old_size);
+}
+#else
+inline void san_switch_begin(void**, const void*, std::size_t) {}
+inline void san_switch_end(void*, const void**, std::size_t*) {}
+#endif
+
+// The model checker's step gate and scheduler in one: every script runs
+// as a ucontext FIBER on the single driver thread.  A park or a grant is
+// a userspace context switch (~100ns) instead of a semaphore futex
+// round-trip — on the explorer's 10^5..10^7 step budgets the thread
+// version spends its entire wall clock in the kernel scheduler, and a
+// single-threaded checker is deterministic and sanitizer-friendly for
+// free.
+//
+// Roles: worker fibers call before_access (park: record the pending
+// footprint, switch to the driver) and on_spin_fail (record blocking; a
+// process whose unbounded-wait predicate just failed is disabled until
+// another process writes the awaited variable).  The driver calls grant
+// (switch into a fiber for exactly one access) and the query helpers.
+// Everything is plain single-threaded state.
+class mc_gate final : public sim_platform::proc::step_gate {
+ public:
+  struct pending_access {
+    const void* var = nullptr;
+    sim_op op = sim_op::read;
+    bool known = false;
+  };
+
+  using script_fn = std::function<void(sim_platform::proc&)>;
+  static constexpr std::size_t stack_size = 256 * 1024;
+
+  explicit mc_gate(int nprocs) : st_(static_cast<std::size_t>(nprocs)) {
+#ifdef KEX_MC_TSAN
+    driver_tsan_ = __tsan_get_current_fiber();
+#endif
+  }
+
+  mc_gate(const mc_gate&) = delete;
+  mc_gate& operator=(const mc_gate&) = delete;
+
+  // Precondition: every started fiber has finished (execution::finish
+  // drains the gate before destruction).
+  ~mc_gate() {
+#ifdef KEX_MC_TSAN
+    for (auto& s : st_)
+      if (s.tsan_fiber != nullptr) __tsan_destroy_fiber(s.tsan_fiber);
+#endif
+  }
+
+  // Boot `pid`'s script as a fiber and run it to its first park (or to
+  // completion, for a script with no shared accesses).
+  void start(int pid, script_fn* script, sim_platform::proc* proc) {
+    auto& s = at(pid);
+    KEX_CHECK_MSG(s.stack == nullptr, "mc_gate: pid " << pid
+                                                      << " started twice");
+    s.script = script;
+    s.proc = proc;
+    s.gate = this;
+    s.stack = std::make_unique<char[]>(stack_size);
+    getcontext(&s.ctx);
+    s.ctx.uc_stack.ss_sp = s.stack.get();
+    s.ctx.uc_stack.ss_size = stack_size;
+    s.ctx.uc_link = nullptr;
+    makecontext(&s.ctx, &mc_gate::trampoline, 0);
+#ifdef KEX_MC_TSAN
+    s.tsan_fiber = __tsan_create_fiber(0);
+#endif
+    boot_ = &s;
+    switch_in(s);
+  }
+
+  // --- worker (fiber) side -------------------------------------------------
+  void before_access(int pid, const void* v, sim_op op) override {
+    auto& s = at(pid);
+    s.pend = pending_access{v, op, true};
+    switch_out(s);
+  }
+
+  void before_access(int pid) override {
+    before_access(pid, nullptr, sim_op::read);
+  }
+
+  void on_spin_fail(int pid, const void* v) override {
+    at(pid).blocked = true;
+    at(pid).blocked_on = v;  // nullptr: any write enables (poll)
+  }
+
+  // --- driver side ---------------------------------------------------------
+  // Let `pid` perform exactly one access; returns false if already done.
+  // Blocking bookkeeping is cleared on grant — the worker re-reports if
+  // its predicate fails again.  Returns with the fiber re-parked or
+  // finished, so steps never overlap.
+  bool grant(int pid) {
+    auto& s = at(pid);
+    if (s.done) return false;
+    s.blocked = false;
+    s.blocked_on = nullptr;
+    switch_in(s);
+    return true;
+  }
+
+  bool is_done(int pid) { return at(pid).done; }
+
+  bool all_done() {
+    for (auto& s : st_)
+      if (!s.done) return false;
+    return true;
+  }
+
+  bool is_blocked(int pid) { return at(pid).blocked && !at(pid).done; }
+
+  pending_access pending(int pid) { return at(pid).pend; }
+
+  int script_errors() const { return script_errors_; }
+
+  // A write to `v` landed: every process blocked on it (or on "any
+  // variable", the poll case) becomes enabled again.  Returns the woken
+  // pids — the sleep-set filter must not keep a just-woken process
+  // asleep.
+  std::vector<int> wake_on_write(const void* v) {
+    std::vector<int> woken;
+    for (int pid = 0; pid < static_cast<int>(st_.size()); ++pid) {
+      auto& s = at(pid);
+      if (!s.done && s.blocked &&
+          (s.blocked_on == nullptr || s.blocked_on == v)) {
+        s.blocked = false;
+        woken.push_back(pid);
+      }
+    }
+    return woken;
+  }
+
+ private:
+  struct pstate {
+    ucontext_t ctx{};
+    std::unique_ptr<char[]> stack;
+    script_fn* script = nullptr;
+    sim_platform::proc* proc = nullptr;
+    mc_gate* gate = nullptr;
+    pending_access pend;
+    bool blocked = false;
+    const void* blocked_on = nullptr;
+    bool done = false;
+    void* asan_fake = nullptr;  // fake-stack handle while switched out
+    void* tsan_fiber = nullptr;
+  };
+
+  pstate& at(int pid) { return st_[static_cast<std::size_t>(pid)]; }
+
+  static void trampoline() {
+    pstate* s = boot_;
+    // First entry on the fiber stack: complete the driver's switch and
+    // learn the driver's stack bounds for the parks below.
+    san_switch_end(nullptr, &s->gate->driver_stack_bottom_,
+                   &s->gate->driver_stack_size_);
+    try {
+      (*s->script)(*s->proc);
+    } catch (const process_failed&) {
+      // Injected or teardown crash: the process just stops.
+    } catch (...) {
+      ++s->gate->script_errors_;
+    }
+    s->done = true;
+    // Final exit: a null fake-save tells ASan to free this fiber's fake
+    // frames; the fiber is never resumed again.
+    mc_gate* g = s->gate;
+    san_switch_begin(nullptr, g->driver_stack_bottom_,
+                     g->driver_stack_size_);
+#ifdef KEX_MC_TSAN
+    __tsan_switch_to_fiber(g->driver_tsan_, 0);
+#endif
+    swapcontext(&s->ctx, &g->driver_);
+    KEX_CHECK_MSG(false, "mc_gate: finished fiber resumed");
+  }
+
+  // driver → fiber
+  void switch_in(pstate& s) {
+    san_switch_begin(&driver_asan_fake_, s.stack.get(), stack_size);
+#ifdef KEX_MC_TSAN
+    __tsan_switch_to_fiber(s.tsan_fiber, 0);
+#endif
+    swapcontext(&driver_, &s.ctx);
+    // Back on the driver: the fiber parked or finished.
+    san_switch_end(driver_asan_fake_, nullptr, nullptr);
+  }
+
+  // fiber → driver (runs on the fiber stack)
+  void switch_out(pstate& s) {
+    san_switch_begin(&s.asan_fake, driver_stack_bottom_, driver_stack_size_);
+#ifdef KEX_MC_TSAN
+    __tsan_switch_to_fiber(driver_tsan_, 0);
+#endif
+    swapcontext(&s.ctx, &driver_);
+    // Back on the fiber: a grant arrived.
+    san_switch_end(s.asan_fake, nullptr, nullptr);
+  }
+
+  inline static thread_local pstate* boot_ = nullptr;
+
+  std::deque<pstate> st_;  // deque: pstate address-stable for fibers
+  ucontext_t driver_{};
+  const void* driver_stack_bottom_ = nullptr;
+  std::size_t driver_stack_size_ = 0;
+  void* driver_asan_fake_ = nullptr;
+  void* driver_tsan_ = nullptr;
+  int script_errors_ = 0;
+};
+
+// Per-pid access recorder the driver reads between grants; forwards each
+// event to whatever observer setup() installed (e.g. an access_trace), so
+// the folded checkers see the same stream.
+class mc_recorder final : public sim_access_observer {
+ public:
+  explicit mc_recorder(int nprocs)
+      : next_(static_cast<std::size_t>(nprocs), nullptr),
+        count_(static_cast<std::size_t>(nprocs), 0),
+        last_(static_cast<std::size_t>(nprocs)) {}
+
+  void on_access(const sim_access& a) override {
+    auto pid = static_cast<std::size_t>(a.pid);
+    KEX_CHECK_MSG(pid < count_.size(), "mc_recorder: pid out of range");
+    last_[pid] = a;
+    ++count_[pid];
+    if (next_[pid] != nullptr) next_[pid]->on_access(a);
+  }
+
+  void set_next(int pid, sim_access_observer* obs) {
+    next_[static_cast<std::size_t>(pid)] = obs;
+  }
+  std::uint64_t count(int pid) const {
+    return count_[static_cast<std::size_t>(pid)];
+  }
+  const sim_access& last(int pid) const {
+    return last_[static_cast<std::size_t>(pid)];
+  }
+
+ private:
+  std::vector<sim_access_observer*> next_;
+  std::vector<std::uint64_t> count_;
+  std::vector<sim_access> last_;
+};
+
+// One gated execution: every script booted as a fiber on construction,
+// parked at its first access; the driver steps them one access at a
+// time.  finish() force-fails whatever is still live and drains the gate
+// so every fiber runs to completion — it must run before the execution
+// is destroyed (the destructor enforces it).
+class execution {
+ public:
+  execution(std::vector<std::function<void(sim_platform::proc&)>> scripts,
+            const mc_options& opt)
+      : n_(static_cast<int>(scripts.size())),
+        procs_(n_, opt.model),
+        gate_(n_),
+        rec_(n_),
+        scripts_(std::move(scripts)) {
+    if (opt.setup) opt.setup(procs_);
+    for (int pid = 0; pid < n_; ++pid) {
+      rec_.set_next(pid, procs_[pid].observer());
+      procs_[pid].set_observer(&rec_);
+      procs_[pid].set_step_gate(&gate_);
+      gate_.start(pid, &scripts_[static_cast<std::size_t>(pid)],
+                  &procs_[pid]);
+    }
+  }
+
+  execution(const execution&) = delete;
+  execution& operator=(const execution&) = delete;
+  ~execution() { finish(); }
+
+  int nprocs() const { return n_; }
+
+  // Enabled = live and not blocked on an awaited variable.
+  std::vector<int> enabled() {
+    std::vector<int> out;
+    for (int pid = 0; pid < n_; ++pid)
+      if (!gate_.is_done(pid) && !gate_.is_blocked(pid)) out.push_back(pid);
+    return out;
+  }
+
+  std::vector<int> live() {
+    std::vector<int> out;
+    for (int pid = 0; pid < n_; ++pid)
+      if (!gate_.is_done(pid)) out.push_back(pid);
+    return out;
+  }
+
+  bool is_done(int pid) { return gate_.is_done(pid); }
+  mc_gate::pending_access pending(int pid) { return gate_.pending(pid); }
+
+  struct step_result {
+    bool accessed = false;  // false: the step consumed a grant but died
+    const void* var = nullptr;
+    sim_op op = sim_op::read;
+    std::vector<int> woken;
+  };
+
+  step_result step(int pid) {
+    const std::uint64_t before = rec_.count(pid);
+    gate_.grant(pid);
+    step_result r;
+    if (rec_.count(pid) > before) {
+      const sim_access& a = rec_.last(pid);
+      r.accessed = true;
+      r.var = a.var;
+      r.op = a.op;
+      if (is_write_op(a.op)) r.woken = gate_.wake_on_write(a.var);
+    }
+    return r;
+  }
+
+  // Force-fail every live process and drain the gate: every fiber
+  // unwinds through process_failed at its next access and finishes.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    for (int pid = 0; pid < n_; ++pid) procs_[pid].fail();
+    while (!gate_.all_done()) {
+      for (int pid = 0; pid < n_; ++pid)
+        if (!gate_.is_done(pid)) gate_.grant(pid);
+    }
+  }
+
+  int script_errors() const { return gate_.script_errors(); }
+
+ private:
+  int n_;
+  process_set<sim_platform> procs_;
+  mc_gate gate_;
+  mc_recorder rec_;
+  std::vector<std::function<void(sim_platform::proc&)>> scripts_;
+  bool finished_ = false;
+};
+
+// One node of the exploration stack: the scheduling decision taken at a
+// state, plus the DPOR bookkeeping attached to that state.
+struct mc_node {
+  int chosen = -1;
+  std::set<int> backtrack;  // pids whose first-move alternative must run
+  std::set<int> sleep;      // entry sleep set + explored children
+  std::vector<int> enabled;
+  bool has_access = false;  // false: crash step (no access performed)
+  const void* var = nullptr;
+  sim_op op = sim_op::read;
+};
+
+struct vclock {
+  std::vector<long> c;
+  vclock(int n = 0) : c(static_cast<std::size_t>(n), 0) {}  // NOLINT
+  void join(const vclock& o) {
+    for (std::size_t i = 0; i < c.size(); ++i)
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+  }
+};
+
+// The DPOR pass: replay the executed steps through vector clocks, find
+// pairs of dependent steps not ordered by happens-before, and schedule
+// each reversal at the earlier step's pre-state.  Over-approximating the
+// race set only costs reduction, never soundness, so the clock joined
+// before each test conservatively excludes the candidate's own process.
+inline long add_backtracks(std::vector<mc_node>& stack, int nprocs) {
+  struct ev {
+    vclock at;
+    long seq = 0;   // the event's index in its own process's order
+    int node = -1;  // index into the stack
+    bool valid = false;
+  };
+  struct var_state {
+    ev last_write;
+    std::vector<ev> write_by, read_by;
+  };
+  std::vector<vclock> pclock(static_cast<std::size_t>(nprocs),
+                             vclock(nprocs));
+  std::vector<long> pseq(static_cast<std::size_t>(nprocs), 0);
+  std::map<const void*, var_state> vars;
+  auto state_of = [&](const void* v) -> var_state& {
+    auto [it, inserted] = vars.try_emplace(v);
+    if (inserted) {
+      it->second.write_by.assign(static_cast<std::size_t>(nprocs), ev{});
+      it->second.read_by.assign(static_cast<std::size_t>(nprocs), ev{});
+    }
+    return it->second;
+  };
+
+  long added = 0;
+  for (std::size_t e = 0; e < stack.size(); ++e) {
+    mc_node& nd = stack[e];
+    if (!nd.has_access) continue;  // crash steps conflict with nothing
+    const int p = nd.chosen;
+    auto& vs = state_of(nd.var);
+    const bool w = is_write_op(nd.op);
+
+    // Race candidates: the latest conflicting access by each other pid
+    // (program order covers earlier ones transitively).
+    for (int q = 0; q < nprocs; ++q) {
+      if (q == p) continue;
+      const auto qi = static_cast<std::size_t>(q);
+      const ev* cand = nullptr;
+      if (w) {
+        const ev& cw = vs.write_by[qi];
+        const ev& cr = vs.read_by[qi];
+        if (cw.valid && (!cr.valid || cw.seq > cr.seq)) cand = &cw;
+        else if (cr.valid) cand = &cr;
+      } else if (vs.write_by[qi].valid) {
+        cand = &vs.write_by[qi];
+      }
+      if (cand == nullptr) continue;
+
+      // Happens-before known to this step, through every dependency
+      // except events of q itself (the direct edge under test).
+      vclock hb = pclock[static_cast<std::size_t>(p)];
+      if (vs.last_write.valid && stack[static_cast<std::size_t>(
+                                           vs.last_write.node)].chosen != q)
+        hb.join(vs.last_write.at);
+      if (w) {
+        for (int r = 0; r < nprocs; ++r)
+          if (r != q && vs.read_by[static_cast<std::size_t>(r)].valid)
+            hb.join(vs.read_by[static_cast<std::size_t>(r)].at);
+      }
+      if (hb.c[qi] >= cand->seq) continue;  // ordered: not a race
+
+      mc_node& pre = stack[static_cast<std::size_t>(cand->node)];
+      const bool enabled_there =
+          std::find(pre.enabled.begin(), pre.enabled.end(), p) !=
+          pre.enabled.end();
+      if (enabled_there) {
+        if (pre.backtrack.insert(p).second) ++added;
+      } else {
+        // Blocked at the pre-state: schedule every enabled process — the
+        // conservative fallback that keeps blocking sound.
+        for (int r : pre.enabled)
+          if (pre.backtrack.insert(r).second) ++added;
+      }
+    }
+
+    // Advance this process's clock through the step's dependencies.
+    vclock cl = pclock[static_cast<std::size_t>(p)];
+    if (vs.last_write.valid) cl.join(vs.last_write.at);
+    if (w) {
+      for (int r = 0; r < nprocs; ++r)
+        if (vs.read_by[static_cast<std::size_t>(r)].valid)
+          cl.join(vs.read_by[static_cast<std::size_t>(r)].at);
+    }
+    const auto pi = static_cast<std::size_t>(p);
+    cl.c[pi] = ++pseq[pi];
+    pclock[pi] = cl;
+    ev me{cl, pseq[pi], static_cast<int>(e), true};
+    if (w) {
+      vs.last_write = me;
+      vs.write_by[pi] = me;
+    } else {
+      vs.read_by[pi] = me;
+    }
+  }
+  return added;
+}
+
+}  // namespace mc_detail
+
+// ---------------------------------------------------------------------------
+// The explorer.
+//
+// make_run: () -> vector<function<void(proc&)>>   (fresh state each call)
+// verify:   (const mc_outcome&) -> void           (assert / record inside)
+//
+// Explores complete executions until the backtrack sets close (or a cap /
+// stop callback fires).  Scripts must be deterministic given the schedule
+// — the same requirement run_stepped already imposes — because every
+// execution replays a stack prefix before extending it.
+template <class MakeRun, class Verify>
+mc_stats explore_dpor(int nprocs, MakeRun make_run, Verify verify,
+                      const mc_options& opt = {}) {
+  KEX_CHECK_MSG(nprocs >= 1 && nprocs <= 9,
+                "explore_dpor: 1..9 processes (schedules print as digits)");
+  mc_stats stats;
+  std::vector<mc_detail::mc_node> stack;
+  bool first = true;
+
+  for (;;) {
+    if (!first) {
+      // Backtrack: deepest node with an unexplored alternative.
+      bool found = false;
+      while (!stack.empty()) {
+        mc_detail::mc_node& nd = stack.back();
+        if (nd.chosen >= 0) nd.sleep.insert(nd.chosen);
+        int next = -1;
+        for (int q : nd.backtrack)
+          if (nd.sleep.count(q) == 0) {
+            next = q;
+            break;
+          }
+        if (next >= 0) {
+          nd.chosen = next;
+          nd.has_access = false;
+          nd.var = nullptr;
+          nd.op = sim_op::read;
+          found = true;
+          break;
+        }
+        stack.pop_back();
+      }
+      if (!found) break;  // state space closed
+      if (opt.max_executions > 0 && stats.executions >= opt.max_executions) {
+        stats.capped = true;
+        break;
+      }
+    }
+    first = false;
+
+    // ---- one execution: replay the stack's choices, then extend --------
+    const std::size_t replay_len = stack.size();
+    mc_outcome out;
+    bool pruned = false;
+    {
+      mc_detail::execution ex(make_run(), opt);
+      KEX_CHECK_MSG(ex.nprocs() == nprocs,
+                    "explore_dpor: make_run produced wrong script count");
+      std::size_t depth = 0;
+      std::set<int> cur_sleep;
+      for (;;) {
+        std::vector<int> enabled = ex.enabled();
+        std::vector<int> live = ex.live();
+        if (live.empty()) break;  // terminal: everyone finished
+        if (enabled.empty()) {
+          out.deadlocked = true;
+          out.blocked_at_deadlock = live;
+          break;
+        }
+        int p = -1;
+        if (depth < replay_len) {
+          p = stack[depth].chosen;
+          KEX_CHECK_MSG(
+              std::find(enabled.begin(), enabled.end(), p) != enabled.end(),
+              "explore_dpor: replay divergence — scripts must be "
+              "deterministic given the schedule");
+          stack[depth].enabled = enabled;
+        } else {
+          for (int q : enabled)
+            if (cur_sleep.count(q) == 0) {
+              p = q;
+              break;
+            }
+          if (p < 0) {
+            ++stats.sleep_cutoffs;
+            pruned = true;
+            break;
+          }
+          mc_detail::mc_node nd;
+          nd.chosen = p;
+          if (opt.dpor)
+            nd.backtrack.insert(p);
+          else
+            nd.backtrack.insert(enabled.begin(), enabled.end());
+          nd.sleep = cur_sleep;
+          nd.enabled = enabled;
+          stack.push_back(std::move(nd));
+        }
+        mc_detail::mc_node& nd = stack[depth];
+        auto sr = ex.step(p);
+        ++stats.steps;
+        out.schedule.push_back(p);
+        nd.has_access = sr.accessed;
+        nd.var = sr.var;
+        nd.op = sr.op;
+
+        // Entry sleep for the next state: survivors independent of this
+        // step.  A woken process always leaves the sleep set — its next
+        // move may differ now that its wait is over.
+        std::set<int> next_sleep;
+        for (int q : nd.sleep) {
+          if (q == p || ex.is_done(q)) continue;
+          const bool woke = std::find(sr.woken.begin(), sr.woken.end(), q) !=
+                            sr.woken.end();
+          bool dep = false;
+          if (nd.has_access) {
+            auto pq = ex.pending(q);
+            dep = pq.known && pq.var == nd.var &&
+                  (is_write_op(pq.op) || is_write_op(nd.op));
+          }
+          if (!dep && !woke) next_sleep.insert(q);
+        }
+        cur_sleep = opt.sleep_sets ? std::move(next_sleep) : std::set<int>{};
+
+        ++depth;
+        if (static_cast<long>(depth) > stats.max_depth)
+          stats.max_depth = static_cast<long>(depth);
+        if (opt.on_step) opt.on_step(p);
+        if (static_cast<long>(depth) >= opt.max_steps_per_exec) {
+          out.livelocked = true;
+          break;
+        }
+      }
+      ex.finish();
+      out.script_errors = ex.script_errors();
+    }
+
+    if (pruned) continue;
+    ++stats.executions;
+    if (opt.dpor)
+      stats.backtrack_points += mc_detail::add_backtracks(stack, nprocs);
+    verify(static_cast<const mc_outcome&>(out));
+    if (opt.stop && opt.stop()) {
+      stats.stopped = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+// Deterministically re-execute one schedule (e.g. a violation dump).
+// Grants the recorded pids in order, then completes round-robin over
+// enabled processes; optional human-readable step log for diagnosis.
+inline mc_outcome mc_run_schedule(
+    std::vector<std::function<void(sim_platform::proc&)>> scripts,
+    const std::vector<int>& schedule, const mc_options& opt = {},
+    std::vector<std::string>* log = nullptr) {
+  mc_outcome out;
+  mc_detail::execution ex(std::move(scripts), opt);
+  std::map<const void*, int> var_names;
+  auto var_name = [&](const void* v) {
+    auto [it, inserted] =
+        var_names.try_emplace(v, static_cast<int>(var_names.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::size_t replayed = 0;
+  for (;;) {
+    std::vector<int> enabled = ex.enabled();
+    std::vector<int> live = ex.live();
+    if (live.empty()) break;
+    if (enabled.empty()) {
+      out.deadlocked = true;
+      out.blocked_at_deadlock = live;
+      break;
+    }
+    int p = -1;
+    if (replayed < schedule.size()) {
+      p = schedule[replayed++];
+      if (std::find(enabled.begin(), enabled.end(), p) == enabled.end()) {
+        if (log)
+          log->push_back("replay divergence: pid " + std::to_string(p) +
+                         " not enabled at step " +
+                         std::to_string(out.schedule.size()));
+        break;
+      }
+    } else {
+      p = enabled.front();
+    }
+    auto sr = ex.step(p);
+    out.schedule.push_back(p);
+    if (log) {
+      std::ostringstream line;
+      line << (out.schedule.size() - 1) << ": p" << p;
+      if (sr.accessed)
+        line << ' ' << to_string(sr.op) << " v" << var_name(sr.var);
+      else
+        line << " [crash step]";
+      if (!sr.woken.empty()) {
+        line << " wakes";
+        for (int q : sr.woken) line << " p" << q;
+      }
+      log->push_back(line.str());
+    }
+    if (opt.on_step) opt.on_step(p);
+    if (static_cast<long>(out.schedule.size()) >= opt.max_steps_per_exec) {
+      out.livelocked = true;
+      break;
+    }
+  }
+  ex.finish();
+  out.script_errors = ex.script_errors();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The k-exclusion property harness.
+
+using kex_factory = std::function<any_kex<sim_platform>()>;
+
+struct kex_mc_config {
+  std::string label;  // reporting only
+  int n = 4;
+  int k = 2;
+  int iterations = 1;  // entry→CS→exit round trips per process
+  cost_model model = cost_model::cc;
+
+  // Crash injection: crash_pid fails just before its crash_offset-th
+  // shared statement (deterministic; -1 = none).  The config must keep
+  // crashes within the paper's budget (≤ k-1) or resilience verdicts are
+  // meaningless.
+  int crash_pid = -1;
+  std::uint64_t crash_offset = 0;
+
+  // Abort injection: abort_budget[pid] > 0 makes that pid acquire through
+  // a budget token (deterministic tick count); 0 / absent = plain acquire.
+  std::vector<std::uint64_t> abort_budget;
+
+  long max_exit_steps = 200;  // per-pid steps allowed inside the exit section
+  long max_steps_per_exec = 50000;
+  long max_executions = 0;
+  bool dpor = true;
+  bool sleep_sets = true;
+
+  // Cleanliness prober token budget.  Every failing probe burns the whole
+  // budget in yield-spins, once per explored execution — keep it just
+  // large enough to clear the deepest solo entry path (the hybrid's
+  // patience → self-grant → tree route is the worst case in the catalog).
+  std::uint32_t probe_budget = 256;
+  bool check_lint = true;
+  bool check_races = true;
+  bool check_atomicity = true;
+
+  // Hybrid construction knobs (kex_mc_factory): tiny patience keeps the
+  // bounded-wait state space small while still exercising the patience /
+  // self-acquire path.
+  std::uint32_t hybrid_patience = 2;
+  int hybrid_handoff_cap = 4;
+};
+
+struct kex_mc_violation {
+  std::string property;  // occupancy | lost_wakeup | exit_bound |
+                         // cleanliness | spin_lint | race | atomicity |
+                         // livelock | script_error
+  std::string detail;
+  std::vector<int> schedule;
+};
+
+struct kex_mc_result {
+  mc_stats stats;
+  std::optional<kex_mc_violation> violation;
+  int max_occupancy = 0;  // across clean executions
+  bool ok() const { return !violation.has_value(); }
+};
+
+namespace mc_detail {
+
+enum class kex_phase : int { entry, cs, exiting, idle, finished };
+
+// Shared harness state for one execution.  All fields are host-side and
+// gate-serialized: only the granted worker runs between driver probes,
+// and every transition passes through the gate mutex.
+struct kex_run_state {
+  any_kex<sim_platform> alg;
+  access_trace trace;
+  sim_platform::var<long> data{0};
+  int occupancy = 0;
+  int max_occupancy = 0;
+  std::vector<kex_phase> phase;
+  std::vector<long> exit_steps;
+  long worst_exit = 0;
+  int exit_bound_pid = -1;
+
+  kex_run_state(any_kex<sim_platform> a, int n)
+      : alg(std::move(a)),
+        trace(n),
+        phase(static_cast<std::size_t>(n), kex_phase::entry),
+        exit_steps(static_cast<std::size_t>(n), 0) {}
+};
+
+// Everything check_kex and replay_kex share: the scripts, the per-step
+// checks, and the per-execution verdict.
+struct kex_harness {
+  const kex_factory& make_alg;
+  const kex_mc_config& cfg;
+  std::shared_ptr<kex_run_state> st;
+  kex_mc_result res;
+
+  kex_harness(const kex_factory& f, const kex_mc_config& c)
+      : make_alg(f), cfg(c) {}
+
+  void fail(std::string property, std::string detail,
+            const std::vector<int>& schedule) {
+    if (!res.violation.has_value())
+      res.violation =
+          kex_mc_violation{std::move(property), std::move(detail), schedule};
+  }
+
+  std::uint64_t budget_of(int pid) const {
+    return pid < static_cast<int>(cfg.abort_budget.size())
+               ? cfg.abort_budget[static_cast<std::size_t>(pid)]
+               : 0;
+  }
+
+  std::vector<std::function<void(sim_platform::proc&)>> make_run() {
+    st = std::make_shared<kex_run_state>(make_alg(), cfg.n);
+    std::vector<std::function<void(sim_platform::proc&)>> scripts;
+    scripts.reserve(static_cast<std::size_t>(cfg.n));
+    for (int pid = 0; pid < cfg.n; ++pid) {
+      auto s = st;
+      const std::uint64_t budget = budget_of(pid);
+      const kex_mc_config& c = cfg;
+      scripts.emplace_back([s, pid, budget, &c](sim_platform::proc& p) {
+        if (pid == c.crash_pid) p.fail_after(c.crash_offset);
+        auto idx = static_cast<std::size_t>(pid);
+        for (int it = 0; it < c.iterations; ++it) {
+          s->phase[idx] = kex_phase::entry;
+          bool got = true;
+          if (budget > 0) {
+            cancel_token tk = cancel_token::with_budget(budget);
+            got = s->alg.acquire_cancellable(p, tk);
+          } else {
+            s->alg.acquire(p);
+          }
+          if (got) {
+            s->phase[idx] = kex_phase::cs;
+            ++s->occupancy;
+            if (s->occupancy > s->max_occupancy)
+              s->max_occupancy = s->occupancy;
+            const long v = s->data.read(p);
+            s->data.write(p, v + 1);
+            --s->occupancy;
+            s->phase[idx] = kex_phase::exiting;
+            s->exit_steps[idx] = 0;
+            s->alg.release(p);
+          }
+          s->phase[idx] = kex_phase::idle;
+        }
+        s->phase[idx] = kex_phase::finished;
+      });
+    }
+    return scripts;
+  }
+
+  void on_step(int pid) {
+    auto& s = *st;
+    auto idx = static_cast<std::size_t>(pid);
+    if (s.phase[idx] == kex_phase::exiting) {
+      ++s.exit_steps[idx];
+      if (s.exit_steps[idx] > s.worst_exit) {
+        s.worst_exit = s.exit_steps[idx];
+        if (s.worst_exit > cfg.max_exit_steps) s.exit_bound_pid = pid;
+      }
+    }
+  }
+
+  void verify(const mc_outcome& out) {
+    if (res.violation.has_value()) return;  // keep the first schedule
+    auto& s = *st;
+    std::ostringstream why;
+    if (out.script_errors > 0) {
+      why << out.script_errors << " script exception(s) escaped";
+      fail("script_error", why.str(), out.schedule);
+      return;
+    }
+    if (s.max_occupancy > cfg.k) {
+      why << s.max_occupancy << " processes in the CS with k = " << cfg.k;
+      fail("occupancy", why.str(), out.schedule);
+      return;
+    }
+    if (s.exit_bound_pid >= 0) {
+      why << "pid " << s.exit_bound_pid << " needed more than "
+          << cfg.max_exit_steps << " steps inside the exit section";
+      fail("exit_bound", why.str(), out.schedule);
+      return;
+    }
+    if (out.livelocked) {
+      why << "execution exceeded " << cfg.max_steps_per_exec << " steps";
+      fail("livelock", why.str(), out.schedule);
+      return;
+    }
+    if (out.deadlocked) {
+      why << "every live process disabled with no enabling write left;"
+          << " blocked pids:";
+      for (int pid : out.blocked_at_deadlock) why << ' ' << pid;
+      if (cfg.crash_pid >= 0)
+        why << " (crash budget " << cfg.k - 1 << ", 1 injected)";
+      fail("lost_wakeup", why.str(), out.schedule);
+      return;
+    }
+    if (s.max_occupancy > res.max_occupancy)
+      res.max_occupancy = s.max_occupancy;
+
+    // Folded trace checkers — one representative per equivalence class is
+    // enough: permuting independent steps preserves per-variable access
+    // order, remoteness, and episode structure.
+    const auto events = s.trace.events();
+    if (cfg.check_lint) {
+      const auto lint = lint_local_spin(events);
+      if (!lint.clean()) {
+        fail("spin_lint", lint.findings.front().reason, out.schedule);
+        return;
+      }
+    }
+    if (cfg.check_races) {
+      race_options ro;
+      ro.nprocs = cfg.n;
+      ro.k = cfg.k;
+      ro.data_vars = {&s.data};
+      const auto rr = check_races(events, ro);
+      if (!rr.clean()) {
+        fail("race",
+             rr.findings.front().kind + ": " + rr.findings.front().detail,
+             out.schedule);
+        return;
+      }
+    }
+    if (cfg.check_atomicity) {
+      const auto ar = certify_atomicity(events);
+      if (!ar.clean(/*declared_idealized=*/false)) {
+        fail("atomicity", ar.summary(), out.schedule);
+        return;
+      }
+    }
+
+    check_cleanliness(out);
+  }
+
+  // Post-quiescence cleanliness: with c crashed processes, between k-c
+  // and k slots must remain acquirable by fresh solo probers (a crash
+  // burns at most its own slot; aborts burn nothing), and never more than
+  // k.  Probes use bounded tokens so a wedged algorithm fails fast
+  // instead of hanging the checker.
+  void check_cleanliness(const mc_outcome& out) {
+    auto& s = *st;
+    if (!s.alg.abortable()) return;  // cannot probe without wedging
+    std::vector<int> alive;
+    int crashed = 0;
+    for (int pid = 0; pid < cfg.n; ++pid) {
+      if (s.phase[static_cast<std::size_t>(pid)] != kex_phase::finished)
+        ++crashed;
+      else
+        alive.push_back(pid);
+    }
+    const int floor_avail = cfg.k - crashed;
+    const int attempts =
+        std::min(cfg.k + 1, static_cast<int>(alive.size()));
+    std::deque<sim_platform::proc> probers;
+    std::vector<std::size_t> held;
+    int successes = 0;
+    for (int i = 0; i < attempts; ++i) {
+      probers.emplace_back(alive[static_cast<std::size_t>(i)],
+                           cost_model::none);
+      cancel_token tk = cancel_token::with_budget(cfg.probe_budget);
+      if (s.alg.acquire_cancellable(probers.back(), tk)) {
+        ++successes;
+        held.push_back(probers.size() - 1);
+      } else {
+        break;
+      }
+    }
+    const bool over = successes > cfg.k;
+    const bool under = successes < floor_avail;
+    for (auto it = held.rbegin(); it != held.rend(); ++it)
+      s.alg.release(probers[*it]);
+    if (over) {
+      std::ostringstream why;
+      why << successes << " solo acquisitions succeeded after quiescence"
+          << " with k = " << cfg.k << " (slot resurrected)";
+      fail("cleanliness", why.str(), out.schedule);
+    } else if (under) {
+      std::ostringstream why;
+      why << "only " << successes << " of " << floor_avail
+          << " guaranteed slots acquirable after quiescence (" << crashed
+          << " crash(es), k = " << cfg.k << "): slot leaked";
+      fail("cleanliness", why.str(), out.schedule);
+    }
+  }
+};
+
+}  // namespace mc_detail
+
+// Exhaustively model-check one k-exclusion configuration.  Stops at the
+// first violation; the result carries its full replayable schedule.
+inline kex_mc_result check_kex(const kex_factory& make_alg,
+                               const kex_mc_config& cfg) {
+  KEX_CHECK_MSG(cfg.n >= 2 && cfg.k >= 1 && cfg.k < cfg.n && cfg.n <= 9,
+                "check_kex: need 1 <= k < n <= 9");
+  KEX_CHECK_MSG(cfg.crash_pid < 0 || cfg.k >= 2,
+                "check_kex: crash injection needs k >= 2 (budget k-1 >= 1)");
+  mc_detail::kex_harness h(make_alg, cfg);
+  mc_options opt;
+  opt.model = cfg.model;
+  opt.max_steps_per_exec = cfg.max_steps_per_exec;
+  opt.max_executions = cfg.max_executions;
+  opt.dpor = cfg.dpor;
+  opt.sleep_sets = cfg.sleep_sets;
+  opt.setup = [&](process_set<sim_platform>& procs) {
+    h.st->trace.attach(procs);
+  };
+  opt.on_step = [&](int pid) { h.on_step(pid); };
+  opt.stop = [&] { return h.res.violation.has_value(); };
+  h.res.stats = explore_dpor(
+      cfg.n, [&] { return h.make_run(); },
+      [&](const mc_outcome& out) { h.verify(out); }, opt);
+  return std::move(h.res);
+}
+
+// Re-execute one recorded schedule against a fresh instance of the same
+// configuration and re-run the property verdict — the `--replay` path.
+inline kex_mc_result replay_kex(const kex_factory& make_alg,
+                                const kex_mc_config& cfg,
+                                const std::vector<int>& schedule,
+                                std::vector<std::string>* log = nullptr) {
+  mc_detail::kex_harness h(make_alg, cfg);
+  mc_options opt;
+  opt.model = cfg.model;
+  opt.max_steps_per_exec = cfg.max_steps_per_exec;
+  opt.setup = [&](process_set<sim_platform>& procs) {
+    h.st->trace.attach(procs);
+  };
+  opt.on_step = [&](int pid) { h.on_step(pid); };
+  mc_outcome out = mc_run_schedule(h.make_run(), schedule, opt, log);
+  h.verify(out);
+  return std::move(h.res);
+}
+
+// Catalog factory with model-checkable shapes: the hybrid gets a tiny
+// patience/handoff_cap so its bounded waits don't blow up the state
+// space (patience is a correctness-neutral tuning knob — the paper's
+// safety properties must hold for every value).
+inline kex_factory kex_mc_factory(const std::string& name,
+                                  const kex_mc_config& cfg) {
+  const int n = cfg.n;
+  const int k = cfg.k;
+  if (name == "hybrid") {
+    hybrid_options o;
+    o.patience = cfg.hybrid_patience;
+    o.handoff_cap = cfg.hybrid_handoff_cap;
+    return [n, k, o] {
+      return any_kex<sim_platform>::make<hybrid_kex<sim_platform>>(
+          n, k, n, leaf_assignment{}, o);
+    };
+  }
+  return [name, n, k] { return make_kex<sim_platform>(name, n, k); };
+}
+
+}  // namespace kex::analysis

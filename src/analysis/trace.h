@@ -116,6 +116,7 @@ class access_trace final : public sim_access_observer {
   };
 
   std::uint64_t cap_;
+  // kex-lint: allow(raw-atomic): trace infrastructure, not protocol state
   std::atomic<std::uint64_t> seq_{0};
   std::vector<padded<lane>> lanes_;
 };

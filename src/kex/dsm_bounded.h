@@ -78,6 +78,9 @@ class dsm_bounded_level {
       auto& me = priv_[static_cast<std::size_t>(p.id)].value;
       std::uint32_t next = (me.last + 1) % slots_;                // 3
       std::uint32_t scanned = 0;
+      // kex-lint: allow(raw-spin): bounded free-slot scan over the
+      // process's OWN read-counter row (every access local), with the
+      // paper's one-sweep bound asserted below — not a wait loop.
       while (reads_.at(p.id, static_cast<int>(next)).read(p) != 0) {
         next = (next + 1) % slots_;                               // 4,5
         // The paper proves a free location is found within one sweep; a

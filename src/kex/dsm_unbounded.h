@@ -113,6 +113,7 @@ class dsm_unbounded_level {
 
  private:
   struct priv_state {
+    // kex-lint: allow(raw-atomic): strictly per-process location cursor
     std::atomic<std::uint32_t> next_loc{0};
   };
 

@@ -174,6 +174,7 @@ class fast_path_kex {
   // padded vectors: two lines touched per acquisition where one suffices.
   struct per_proc {
     bool slow = false;  // the private variable `slow`
+    // kex-lint: allow(raw-atomic): stats counters, not protocol state
     std::atomic<std::uint64_t> fast_hits{0}, slow_hits{0};
   };
   static_assert(sizeof(per_proc) <= cacheline_size,

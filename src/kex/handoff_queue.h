@@ -49,6 +49,8 @@ class mcs_queue {
   // retry/granted encoding); `next` is the queue link.  Callers allocate
   // one node per pid per queue, owner-assigned so both fields are local
   // to spin on under the DSM cost model.
+  // kex-lint: allow-block(unpadded-shared): nodes are padded<qnode> at
+  // every owner (mcs_lock, hybrid_kex), one line per pid
   struct qnode {
     var<int> status{0};
     var<qnode*> next{nullptr};
@@ -106,6 +108,8 @@ class mcs_queue {
   }
 
  private:
+  // kex-lint: allow(unpadded-shared): sole member — the queue object
+  // itself is placed on an aligned line by its owner
   var<qnode*> tail_{nullptr};
 };
 

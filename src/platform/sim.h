@@ -88,8 +88,41 @@ struct sim_platform {
     struct step_gate {
       virtual ~step_gate() = default;
       virtual void before_access(int pid) = 0;
+
+      // Enabledness extension (the model checker's interface; see
+      // src/analysis/model_check.h).  The footprint overload reports WHICH
+      // access the process is about to perform — the variable and the
+      // primitive — before blocking for the grant; the default forwards to
+      // the pid-only overload so existing gates are untouched.  For a
+      // compare_exchange the reported op is cas_ok (write intent): whether
+      // it lands is only known after execution, and a scheduler deciding
+      // commutativity must assume the stronger effect.
+      virtual void before_access(int pid, const void* v, sim_op op) {
+        (void)v;
+        (void)op;
+        before_access(pid);
+      }
+
+      // Called (host-side, no charge, no grant consumed) each time an
+      // UNBOUNDED wait's predicate just evaluated false: the process
+      // cannot pass until another process writes `v` (nullptr for
+      // multi-variable polls — any write may enable).  A model checker
+      // treats the process as disabled until such a write, which turns
+      // spin loops into blocking waits, makes complete executions finite,
+      // and surfaces lost wakeups as deadlock.  Bounded waits
+      // (await_bounded / await_cancellable) never report: their timeout
+      // and abort arms are reachable only by continuing to step.  The
+      // default ignores the report — the plain stepper keeps spinning.
+      virtual void on_spin_fail(int pid, const void* v) { (void)pid; (void)v; }
     };
     void set_step_gate(step_gate* gate) { gate_ = gate; }
+
+    // Report a failed unbounded-wait probe to the gate, if any.  Called by
+    // var::await / var::await_while / sim_platform::poll between the failed
+    // predicate evaluation and the next charged read.
+    void note_spin_fail(const void* v) {
+      if (gate_ != nullptr) gate_->on_spin_fail(id, v);
+    }
 
     // --- chaos scheduling ---------------------------------------------------
     // With chaos enabled, the process yields before a pseudo-random subset
@@ -172,8 +205,8 @@ struct sim_platform {
     template <shared_word T>
     friend class var;
 
-    void on_access() {
-      if (gate_ != nullptr) gate_->before_access(id);
+    void on_access(const void* v, sim_op op) {
+      if (gate_ != nullptr) gate_->before_access(id, v, op);
       if (failed_.load(std::memory_order_relaxed)) throw process_failed{id};
       if (fail_at_ != 0 && counters_.statements >= fail_at_) {
         failed_.store(true, std::memory_order_relaxed);
@@ -241,7 +274,7 @@ struct sim_platform {
     int owner() const { return owner_; }
 
     T read(proc& p) const {
-      p.on_access();
+      p.on_access(this, sim_op::read);
       const bool remote = read_is_remote(p);
       p.charge(remote);
       T v = v_.load(std::memory_order_seq_cst);
@@ -263,6 +296,7 @@ struct sim_platform {
       typename proc::wait_scope wait(p, this);
       T v = read(p);
       while (!pred(v)) {
+        p.note_spin_fail(this);  // unbounded: blocked until a write here
         p.spin();
         wait.next_iteration();
         v = read(p);
@@ -274,6 +308,7 @@ struct sim_platform {
       typename proc::wait_scope wait(p, this);
       T v = read(p);
       while (v == old) {
+        p.note_spin_fail(this);  // unbounded: blocked until a write here
         p.spin();
         wait.next_iteration();
         v = read(p);
@@ -343,7 +378,7 @@ struct sim_platform {
     T peek() const { return v_.load(std::memory_order_seq_cst); }
 
     void write(proc& p, T x) {
-      p.on_access();
+      p.on_access(this, sim_op::write);
       const bool remote = write_is_remote(p);
       p.charge(remote);
       v_.store(x, std::memory_order_seq_cst);
@@ -351,7 +386,7 @@ struct sim_platform {
     }
 
     T fetch_add(proc& p, T d) {
-      p.on_access();
+      p.on_access(this, sim_op::faa);
       const bool remote = write_is_remote(p);
       p.charge(remote);
       T old = v_.fetch_add(d, std::memory_order_seq_cst);
@@ -360,7 +395,7 @@ struct sim_platform {
     }
 
     bool compare_exchange(proc& p, T expected, T desired) {
-      p.on_access();
+      p.on_access(this, sim_op::cas_ok);  // write intent (see step_gate)
       // A CAS — successful or not — goes to the interconnect; the paper's
       // counting charges each primitive invocation once.
       const bool remote = write_is_remote(p);
@@ -373,7 +408,7 @@ struct sim_platform {
     }
 
     T exchange(proc& p, T x) {
-      p.on_access();
+      p.on_access(this, sim_op::exchange);
       const bool remote = write_is_remote(p);
       p.charge(remote);
       T old = v_.exchange(x, std::memory_order_seq_cst);
@@ -385,7 +420,7 @@ struct sim_platform {
     // as one primitive and therefore charged as a single reference — the
     // assumption under which Theorems 3/4/7/8 state their "+2" terms.
     T fetch_dec_floor0(proc& p) {
-      p.on_access();
+      p.on_access(this, sim_op::fdec);
       const bool remote = write_is_remote(p);
       p.charge(remote);
       T old = v_.load(std::memory_order_seq_cst);
@@ -464,6 +499,7 @@ struct sim_platform {
   static void poll(proc& p, Pred pred) {
     proc::wait_scope wait(p, nullptr);
     while (!pred()) {
+      p.note_spin_fail(nullptr);  // no single variable: any write enables
       p.spin();
       wait.next_iteration();
     }

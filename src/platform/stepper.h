@@ -36,8 +36,17 @@ class step_scheduler final : public sim_platform::proc::step_gate {
       : state_(static_cast<std::size_t>(nprocs), wstate::running) {}
 
   // Called by workers (via the sim proc) before every shared access.
+  //
+  // Per-pid lifecycle is monotone within a step: running → waiting →
+  // granted → running, and running → done exactly once at retirement.
+  // Parking while already parked (two threads sharing a pid) or accessing
+  // after retire() would silently corrupt the schedule; both are asserted
+  // here rather than diagnosed downstream as a phantom deadlock.
   void before_access(int pid) override {
     std::unique_lock lk(m_);
+    KEX_CHECK_MSG(at(pid) == wstate::running,
+                  "step_scheduler: access while not running (pid " << pid
+                      << " parked twice or used after retire)");
     at(pid) = wstate::waiting;
     cv_.notify_all();
     cv_.wait(lk, [&] { return at(pid) == wstate::granted; });
@@ -48,6 +57,9 @@ class step_scheduler final : public sim_platform::proc::step_gate {
   // Called by the worker wrapper when a script finishes (or unwinds).
   void retire(int pid) {
     std::scoped_lock lk(m_);
+    KEX_CHECK_MSG(at(pid) == wstate::running,
+                  "step_scheduler: retire of pid " << pid
+                      << " while parked or already done");
     at(pid) = wstate::done;
     cv_.notify_all();
   }
@@ -62,7 +74,7 @@ class step_scheduler final : public sim_platform::proc::step_gate {
       return at(pid) == wstate::waiting || at(pid) == wstate::done;
     });
     if (at(pid) == wstate::done) return false;
-    at(pid) = wstate::granted;
+    at(pid) = wstate::granted;  // waiting → granted: the only grant edge
     cv_.notify_all();
     cv_.wait(lk, [&] {
       return at(pid) == wstate::waiting || at(pid) == wstate::done;
@@ -204,8 +216,15 @@ inline explore_outcome run_stepped(
 // verify:   (const explore_outcome&) -> void        (assert inside)
 template <class MakeRun, class Verify>
 long explore_all(int nprocs, int depth, MakeRun make_run, Verify verify) {
+  // The depth cap bounds the nprocs^depth enumeration, which is this
+  // harness's frontier: explore_all covers every PREFIX of bounded length
+  // and then completes fairly.  For exhaustive coverage of COMPLETE
+  // executions use analysis/model_check.h (explore_dpor), which replaces
+  // brute-force prefixes with sleep-set + DPOR pruning; explore_all stays
+  // as the fallback for tiny cases and for probing mid-schedule states.
   KEX_CHECK_MSG(nprocs >= 1 && depth >= 0 && depth <= 24,
-                "explore_all: bad parameters");
+                "explore_all: depth capped at 24 (use explore_dpor in "
+                "analysis/model_check.h for complete-execution coverage)");
   std::vector<int> prefix(static_cast<std::size_t>(depth), 0);
   long runs = 0;
   for (;;) {

@@ -97,6 +97,8 @@ class universal {
     mine->op = op;
     announce_[static_cast<std::size_t>(name)].value.write(p, mine);
 
+    // kex-lint: allow(raw-spin): lock-free helping loop — every
+    // iteration CASes another operation forward, it never waits in place
     while (mine->seq.read(p) == 0) {
       node* before = max_head(p);
       long before_seq = before->seq.read(p);

@@ -43,6 +43,8 @@ class cs_monitor {
   }
 
  private:
+  // kex-lint: allow-block(raw-atomic): the monitor is the test oracle
+  // OUTSIDE the algorithms — it must not go through the gated var<T>
   std::atomic<int> occupancy_{0};
   std::atomic<int> max_{0};
   std::atomic<std::uint64_t> entries_{0};

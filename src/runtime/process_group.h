@@ -52,6 +52,7 @@ class start_gate {
   }
 
  private:
+  // kex-lint: allow(raw-atomic): test-harness start gate, not protocol
   std::atomic<bool> open_{false};
 };
 

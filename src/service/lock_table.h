@@ -107,6 +107,8 @@ class lock_table {
   struct alignas(cacheline_size) shard {
     any_kex<P> kex;
     int home_node = 0;
+    // kex-lint: allow-block(raw-atomic): per-shard stats counters, not
+    // protocol state — reads are monitoring-only
     std::atomic<std::uint64_t> acquires{0};
     std::atomic<std::uint64_t> fast_hits{0};
     std::atomic<std::uint64_t> crashes{0};

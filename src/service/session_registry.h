@@ -249,6 +249,7 @@ class session_registry {
   cost_model model_;
   Renaming names_;                    // pid pool: long-lived renaming at k=N
   padded<var<int>> gate_;             // free-slot count (admission control)
+  // kex-lint: allow-block(raw-atomic): lease stats, not protocol state
   std::atomic<int> active_{0};
   std::atomic<int> burned_{0};
   std::atomic<int> peak_active_{0};

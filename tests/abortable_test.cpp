@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/model_check.h"
 #include "common/check.h"
 #include "kex/any_kex.h"
 #include "kex_common.h"
@@ -258,48 +259,61 @@ TEST(Abortable, CrashMidAbortBurnsAtMostOneSlot) {
 // the schedule allows.  Every interleaving must end with pid 1 able to
 // acquire plainly afterwards (slot neither lost nor double-granted).
 TEST(Abortable, GrantRacingAbortAllInterleavings) {
-  constexpr int depth = 7;
+  // Complete-execution coverage via the DPOR explorer: where the old
+  // depth-7 prefix enumeration (128 runs) could only push the race into
+  // the first 7 accesses, this closes the whole interleaving space of
+  // both processes' full protocols — abort-vs-grant collisions at every
+  // reachable point.
   for (const auto& name : kex::kex_catalog()) {
     if (!kex::kex_is_abortable(name)) continue;
     SCOPED_TRACE(name);
     std::shared_ptr<std::atomic<int>> last_entries;
-    long runs = kex::explore_all(
-        2, depth,
-        [&] {
-          auto alg = std::make_shared<kex::any_kex<sim>>(
-              kex::make_kex<sim>(name, 2, 1));
-          auto monitor = std::make_shared<cs_monitor>();
-          auto entries = std::make_shared<std::atomic<int>>(0);
-          last_entries = entries;
-          std::vector<std::function<void(sim::proc&)>> scripts;
-          scripts.emplace_back([alg, monitor, entries](sim::proc& p) {
-            for (int i = 0; i < 2; ++i) {
-              alg->acquire(p);
-              monitor->enter();
-              if (monitor->occupancy() <= 1) entries->fetch_add(1);
-              monitor->exit();
-              alg->release(p);
-            }
-          });
-          scripts.emplace_back([alg, monitor, entries](sim::proc& p) {
-            cancel_token tk = cancel_token::with_budget(1);
-            if (alg->acquire_cancellable(p, tk)) alg->release(p);
-            // Whatever the race decided, the slot must be recoverable.
-            alg->acquire(p);
-            monitor->enter();
-            if (monitor->occupancy() <= 1) entries->fetch_add(1);
-            monitor->exit();
-            alg->release(p);
-          });
-          return scripts;
-        },
-        [&](const kex::explore_outcome& outcome) {
+    auto make_run = [&] {
+      auto alg = std::make_shared<kex::any_kex<sim>>(
+          kex::make_kex<sim>(name, 2, 1));
+      auto monitor = std::make_shared<cs_monitor>();
+      auto entries = std::make_shared<std::atomic<int>>(0);
+      last_entries = entries;
+      std::vector<std::function<void(sim::proc&)>> scripts;
+      scripts.emplace_back([alg, monitor, entries](sim::proc& p) {
+        for (int i = 0; i < 2; ++i) {
+          alg->acquire(p);
+          monitor->enter();
+          if (monitor->occupancy() <= 1) entries->fetch_add(1);
+          monitor->exit();
+          alg->release(p);
+        }
+      });
+      scripts.emplace_back([alg, monitor, entries](sim::proc& p) {
+        cancel_token tk = cancel_token::with_budget(1);
+        if (alg->acquire_cancellable(p, tk)) alg->release(p);
+        // Whatever the race decided, the slot must be recoverable.
+        alg->acquire(p);
+        monitor->enter();
+        if (monitor->occupancy() <= 1) entries->fetch_add(1);
+        monitor->exit();
+        alg->release(p);
+      });
+      return scripts;
+    };
+
+    kex::analysis::mc_options opt;
+    opt.max_executions = 500000;
+    auto stats = kex::analysis::explore_dpor(
+        2, make_run,
+        [&](const kex::analysis::mc_outcome& outcome) {
           ASSERT_FALSE(outcome.deadlocked)
-              << name << " schedule " << outcome.schedule << " wedged";
+              << name << " schedule "
+              << kex::analysis::format_schedule(outcome.schedule)
+              << " wedged";
+          ASSERT_FALSE(outcome.livelocked);
           ASSERT_GE(last_entries->load(), 3)
-              << name << " schedule " << outcome.schedule;
-        });
-    EXPECT_EQ(runs, 1L << depth);
+              << name << " schedule "
+              << kex::analysis::format_schedule(outcome.schedule);
+        },
+        opt);
+    EXPECT_FALSE(stats.capped) << name << ": state space no longer closes";
+    EXPECT_GT(stats.executions, 10) << name;
   }
 }
 

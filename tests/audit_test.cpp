@@ -11,6 +11,7 @@
 
 #include "analysis/atomicity.h"
 #include "analysis/audit.h"
+#include "analysis/model_check.h"
 #include "analysis/race_check.h"
 #include "analysis/spin_lint.h"
 #include "analysis/trace.h"
@@ -314,48 +315,25 @@ TEST(Audit, RenamingAndServiceRowsAuditClean) {
   EXPECT_GT(svc_row.events, 0u);
 }
 
-// Every stepped schedule prefix of depth 3 over a (4,2) configuration:
-// the lint and race verdicts hold on all 64 interleavings, not just the
-// curated ones.
+// The lint / race / atomicity verdicts over every explored interleaving
+// of a (4,2) configuration.  This used to odometer the 64 depth-3
+// schedule prefixes by hand; check_kex folds the same three checkers
+// into the DPOR explorer and verifies them on complete executions —
+// a budget of entire round trips instead of 3-step prefixes.  The
+// explicit closure test lives in model_check_test.cpp; here the audit
+// checkers just have to hold on everything the explorer visits.
 TEST(Audit, ExhaustivePrefixesStayClean) {
-  const int nprocs = 4, depth = 3;
-  std::vector<int> prefix(depth, 0);
-  long runs = 0;
-  for (;;) {
-    auto alg = std::make_shared<any_kex<sim_platform>>(
-        make_kex<sim_platform>("cc_inductive", nprocs, 2));
-    auto data = std::make_shared<sim_platform::var<long>>(0);
-    std::vector<script> scripts;
-    for (int pid = 0; pid < nprocs; ++pid) {
-      scripts.push_back([alg, data](sim_proc& p) {
-        for (int i = 0; i < 2; ++i) {
-          alg->acquire(p);
-          data->write(p, data->read(p) + 1);
-          alg->release(p);
-        }
-      });
-    }
-    auto events = trace_stepped(scripts, prefix);
-    auto spin = lint_local_spin(events);
-    EXPECT_TRUE(spin.clean())
-        << "schedule " << prefix[0] << prefix[1] << prefix[2] << ": "
-        << spin.findings.front().reason;
-    race_options ro;
-    ro.nprocs = nprocs;
-    ro.k = 2;
-    ro.data_vars = {data.get()};
-    auto race = check_races(events, ro);
-    EXPECT_TRUE(race.clean());
-    EXPECT_LE(race.max_concurrent_writers, 2);
-    EXPECT_TRUE(certify_atomicity(events).clean(false));
-    ++runs;
-    int i = depth - 1;
-    while (i >= 0 && prefix[static_cast<std::size_t>(i)] == nprocs - 1)
-      prefix[static_cast<std::size_t>(i--)] = 0;
-    if (i < 0) break;
-    ++prefix[static_cast<std::size_t>(i)];
-  }
-  EXPECT_EQ(runs, 64);
+  kex_mc_config cfg;
+  cfg.label = "audit/cc_inductive/n4k2";
+  cfg.n = 4;
+  cfg.k = 2;
+  cfg.max_executions = 1500;
+  auto res = check_kex(kex_mc_factory("cc_inductive", cfg), cfg);
+  EXPECT_TRUE(res.ok()) << res.violation->property << ": "
+                        << res.violation->detail << " (schedule "
+                        << format_schedule(res.violation->schedule) << ")";
+  EXPECT_EQ(res.stats.executions, 1500) << "budget no longer reached";
+  EXPECT_LE(res.max_occupancy, 2);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/model_check.h"
 #include "kex/any_kex.h"
 #include "kex/hybrid_kex.h"
 #include "kex/tree_kex.h"
@@ -144,48 +145,55 @@ TEST(HybridKex, HandoffCapEndsSegments) {
 // (the most abandon-prone waiter possible): the waiting->self vs
 // waiting->granted CAS race must resolve to exactly one winner in all
 // schedules — no deadlock, no double admission, everyone completes.
+//
+// This used to enumerate depth-7 schedule prefixes (128 runs, fair-
+// completed tails); the DPOR explorer instead closes the COMPLETE-
+// execution space — every inequivalent interleaving from first access to
+// quiescence — so the CAS race is covered wherever it occurs, not just
+// in the first 7 steps.
 TEST(HybridKex, ReleaserRacesAbortingEnqueuerAllInterleavings) {
-  constexpr int depth = 7;
   std::shared_ptr<std::atomic<int>> last_ok;
-  int last_expected = 0;
-  long runs = kex::explore_all(
-      2, depth,
-      [&] {
-        auto alg = std::make_shared<hybrid>(
-            4, 2, 4, kex::leaf_assignment{},
-            hybrid_options{.patience = 1, .handoff_cap = 64});
-        auto monitor = std::make_shared<cs_monitor>();
-        auto ok = std::make_shared<std::atomic<int>>(0);
-        std::vector<std::function<void(sim::proc&)>> scripts;
-        for (int pid = 0; pid < 4; ++pid) {
-          if (pid >= 2) {
-            scripts.emplace_back([](sim::proc&) {});
-            continue;
-          }
-          const int cycles = pid == 0 ? 2 : 1;
-          scripts.emplace_back([alg, monitor, ok, cycles](sim::proc& p) {
-            for (int i = 0; i < cycles; ++i) {
-              alg->acquire(p);
-              monitor->enter();
-              if (monitor->occupancy() <= 2) ok->fetch_add(1);
-              monitor->exit();
-              alg->release(p);
-            }
-          });
+  auto make_run = [&] {
+    auto alg = std::make_shared<hybrid>(
+        4, 2, 4, kex::leaf_assignment{},
+        hybrid_options{.patience = 1, .handoff_cap = 64});
+    auto monitor = std::make_shared<cs_monitor>();
+    auto ok = std::make_shared<std::atomic<int>>(0);
+    std::vector<std::function<void(sim::proc&)>> scripts;
+    for (int pid = 0; pid < 2; ++pid) {
+      const int cycles = pid == 0 ? 2 : 1;
+      scripts.emplace_back([alg, monitor, ok, cycles](sim::proc& p) {
+        for (int i = 0; i < cycles; ++i) {
+          alg->acquire(p);
+          monitor->enter();
+          if (monitor->occupancy() <= 2) ok->fetch_add(1);
+          monitor->exit();
+          alg->release(p);
         }
-        // The verify lambda below re-reads these through the shared_ptrs
-        // captured here by the scripts; stash them on the side.
-        last_ok = ok;
-        last_expected = 3;
-        return scripts;
-      },
-      [&](const kex::explore_outcome& outcome) {
-        ASSERT_FALSE(outcome.deadlocked)
-            << "schedule " << outcome.schedule << " wedged";
-        ASSERT_EQ(last_ok->load(), last_expected)
-            << "schedule " << outcome.schedule;
       });
-  EXPECT_EQ(runs, 1L << depth);
+    }
+    // The verify lambda below re-reads this through the shared_ptr
+    // captured here by the scripts; stash it on the side.
+    last_ok = ok;
+    return scripts;
+  };
+
+  kex::analysis::mc_options opt;
+  opt.max_executions = 500000;
+  auto stats = kex::analysis::explore_dpor(
+      2, make_run,
+      [&](const kex::analysis::mc_outcome& outcome) {
+        ASSERT_FALSE(outcome.deadlocked)
+            << "schedule "
+            << kex::analysis::format_schedule(outcome.schedule) << " wedged";
+        ASSERT_FALSE(outcome.livelocked);
+        ASSERT_EQ(last_ok->load(), 3)
+            << "schedule "
+            << kex::analysis::format_schedule(outcome.schedule);
+      },
+      opt);
+  EXPECT_FALSE(stats.capped) << "state space no longer closes";
+  EXPECT_GT(stats.executions, 100);
 }
 
 // Crash sweep across the whole entry protocol under deterministic

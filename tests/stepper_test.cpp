@@ -73,6 +73,18 @@ TEST(StepScheduler, DetectsDeadlock) {
   EXPECT_TRUE(outcome.deadlocked);
 }
 
+TEST(StepScheduler, RejectsNonMonotoneLifecycle) {
+  // Per-pid lifecycle is monotone: running → waiting → granted → running,
+  // and running → done exactly once.  Retiring a retired pid or touching
+  // the gate after retirement used to corrupt the schedule silently and
+  // surface downstream as a phantom deadlock; both are asserted at the
+  // gate itself now.
+  step_scheduler sched(1);
+  sched.retire(0);  // running → done: the one legal retirement
+  EXPECT_THROW(sched.retire(0), invariant_violation);
+  EXPECT_THROW(sched.before_access(0), invariant_violation);
+}
+
 // --- exhaustive exploration of algorithms -------------------------------------
 
 // Drive `alg` through every schedule prefix: each process does one
