@@ -42,6 +42,7 @@
 #include "renaming/k_assignment.h"
 #include "renaming/splitter_renaming.h"
 #include "renaming/tas_renaming.h"
+#include "service/elastic_lock_table.h"
 #include "service/lock_table.h"
 #include "service/session_registry.h"
 
@@ -54,6 +55,8 @@ enum class audit_kind {
   assignment,  // k_assignment acquire/release; name-indexed slots
   service,     // lock_table; per-shard data under keyed guards
   registry,    // session_registry attach/detach churn (sequential)
+  elastic_k,       // elastic_lock_table; one pid steps effective k mid-run
+  elastic_resize,  // elastic_lock_table; split/merge handover mid-run
 };
 
 inline const char* to_string(audit_kind k) {
@@ -63,6 +66,8 @@ inline const char* to_string(audit_kind k) {
     case audit_kind::assignment: return "assignment";
     case audit_kind::service: return "service";
     case audit_kind::registry: return "registry";
+    case audit_kind::elastic_k: return "elastic_k";
+    case audit_kind::elastic_resize: return "elastic_resize";
   }
   return "?";
 }
@@ -169,6 +174,25 @@ struct schedule_run {
   race_options race;
   bool deadlocked = false;
 };
+
+// Elastic rows pin the table's shape so the schedules, not the
+// controller, decide when k steps and when shards move: adaptation and
+// autonomous resharding are off, cfg.k is the capacity ceiling (k_base),
+// and the scripts drive the detain hook / resize publishes directly.
+inline elastic_options elastic_audit_options(const audit_config& cfg,
+                                             int max_shards) {
+  elastic_options o;
+  o.algorithm = cfg.name;
+  o.initial_shards = 1;
+  o.max_shards = max_shards;
+  o.min_shards = 1;
+  o.k_min = 1;
+  o.k_base = cfg.k;
+  o.k_max = cfg.k;
+  o.adaptive = false;
+  o.resharding = false;
+  return o;
+}
 
 }  // namespace detail
 
@@ -382,6 +406,112 @@ inline audit_row run_audit(const audit_config& cfg) {
       break;
     }
 
+    case audit_kind::elastic_k: {
+      // Mid-promotion audit: process 0 steps one shard's effective k down
+      // and back up (k -> k-1 -> k) through the detain hook — the same
+      // fast/graceful detain the adaptive controller uses — while the
+      // other processes hammer the shard's critical section.  The step
+      // gate lands the detain's acquire at every point of the clients'
+      // protocols, so the row certifies exactly what Theorems 4/8 demand
+      // of the re-dress: the step itself spins locally (zero wasted
+      // remote references) and client occupancy never exceeds the
+      // capacity ceiling cfg.k at any instant of the step.
+      for (const auto& prefix : detail::audit_prefixes(cfg.n)) {
+        struct state {
+          elastic_lock_table<sim_platform> table;
+          padded<sim_platform::var<long>> word;
+          explicit state(const audit_config& cfg)
+              : table(cfg.n, detail::elastic_audit_options(cfg, /*max_shards=*/1)) {}
+        };
+        auto st = std::make_shared<state>(cfg);
+        std::vector<std::function<void(sim_platform::proc&)>> scripts;
+        for (int pid = 0; pid < cfg.n; ++pid) {
+          const bool stepper = pid == 0;
+          scripts.push_back([st, stepper, iters = cfg.iterations](
+                                sim_platform::proc& p) {
+            for (int i = 0; i < iters; ++i) {
+              if (stepper) {
+                // Demote, hold the reduced regime across a few steps,
+                // promote.  The detain is abortable by contract; a
+                // refused detain simply skips the restore.
+                cancel_token tk = cancel_token::with_budget(1u << 20);
+                if (st->table.detain_slot(0, p, tk)) {
+                  for (int y = 0; y < 2; ++y) p.spin();
+                  st->table.restore_slot(0, p);
+                }
+              }
+              auto g = st->table.acquire(p, std::uint64_t{11});
+              long v = st->word.value.read(p);
+              st->word.value.write(p, v + 1);
+            }
+          });
+        }
+        detail::schedule_run r;
+        r.race.nprocs = cfg.n;
+        r.race.k = cfg.k;
+        r.race.data_vars = {&st->word.value};
+        r.deadlocked = detail::run_traced(std::move(scripts), prefix,
+                                          cfg.model, cfg.n, r.events);
+        runs.push_back(std::move(r));
+        ++row.schedules;
+      }
+      break;
+    }
+
+    case audit_kind::elastic_resize: {
+      // Mid-handover audit: process 0 publishes a split (and later tries
+      // the merge back) from inside its script — both are host-only calls
+      // that never touch the step gate — while every process keeps
+      // acquiring a spread of keys, each guarding its own data word.
+      // Keys that the rendezvous placement moves must escort through the
+      // migration double-acquire, so the row certifies the handover's
+      // whole claim: every key's writer antichain stays <= k at every
+      // epoch (including the window where old-regime holders and
+      // new-regime acquirers coexist), and the escort's waits are
+      // ordinary kex waits — local-spin, zero wasted remote references.
+      for (const auto& prefix : detail::audit_prefixes(cfg.n)) {
+        constexpr int kKeys = 4;
+        struct state {
+          elastic_lock_table<sim_platform> table;
+          std::vector<padded<sim_platform::var<long>>> key_data;
+          explicit state(const audit_config& cfg)
+              : table(cfg.n, detail::elastic_audit_options(cfg, /*max_shards=*/2)),
+                key_data(kKeys) {}
+        };
+        auto st = std::make_shared<state>(cfg);
+        std::vector<std::function<void(sim_platform::proc&)>> scripts;
+        for (int pid = 0; pid < cfg.n; ++pid) {
+          const bool mover = pid == 0;
+          scripts.push_back([st, mover, iters = cfg.iterations](
+                                sim_platform::proc& p) {
+            for (int i = 0; i < iters; ++i) {
+              // Publish the resize mid-stream: refusals (a handover
+              // already pending, nothing to merge yet) are fine — the
+              // escorts of whichever handover IS live are what the
+              // checkers watch.
+              if (mover && i == 1) st->table.request_split();
+              if (mover && i == 2) st->table.request_merge(1);
+              for (int j = 0; j < kKeys; ++j) {
+                auto g = st->table.acquire(p, std::uint64_t(17 * j + 3));
+                auto& word = st->key_data[static_cast<std::size_t>(j)].value;
+                long v = word.read(p);
+                word.write(p, v + 1);
+              }
+            }
+          });
+        }
+        detail::schedule_run r;
+        r.race.nprocs = cfg.n;
+        r.race.k = cfg.k;
+        for (auto& w : st->key_data) r.race.data_vars.insert(&w.value);
+        r.deadlocked = detail::run_traced(std::move(scripts), prefix,
+                                          cfg.model, cfg.n, r.events);
+        runs.push_back(std::move(r));
+        ++row.schedules;
+      }
+      break;
+    }
+
     case audit_kind::registry: {
       // The registry builds its own procs inside attach(), so it is driven
       // sequentially from this thread (every observer lane is touched by
@@ -448,7 +578,11 @@ inline audit_row run_audit(const audit_config& cfg) {
   if (row.race.clean) {
     std::ostringstream os;
     os << "max " << row.max_concurrent_writers << " concurrent writers (k="
-       << (cfg.kind == audit_kind::kexclusion ? cfg.k : 1) << ")";
+       << (cfg.kind == audit_kind::renaming ||
+                   cfg.kind == audit_kind::assignment
+               ? 1
+               : cfg.k)
+       << ")";
     row.race.detail = os.str();
   }
   if (row.atomicity.clean) {
@@ -585,6 +719,31 @@ inline std::vector<audit_config> default_audit_matrix() {
     c.model = cost_model::cc;
     c.n = 4;
     c.k = 1;
+    m.push_back(std::move(c));
+  }
+  // Elastic service layer: the certifying claims that survive motion.
+  // The elastic_k row steps one shard's capacity ceiling down and back
+  // up mid-contention (the Theorem-4/8 re-dress in vivo); the
+  // elastic_resize row runs a split/merge handover under the gate, so
+  // old-regime holders and escorted new-regime acquirers coexist.  Both
+  // must show zero wasted remote references and per-key writer
+  // antichains <= k at every epoch.
+  {
+    audit_config c;
+    c.name = "cc_fast";
+    c.kind = audit_kind::elastic_k;
+    c.model = cost_model::cc;
+    c.n = 5;
+    c.k = 3;  // ceiling; pid 0 steps 3 -> 2 -> 3 mid-schedule
+    m.push_back(std::move(c));
+  }
+  {
+    audit_config c;
+    c.name = "cc_fast";
+    c.kind = audit_kind::elastic_resize;
+    c.model = cost_model::cc;
+    c.n = 4;
+    c.k = 2;
     m.push_back(std::move(c));
   }
   {

@@ -7,6 +7,7 @@
 // its catalog name (the names used across the benches and docs).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -24,6 +25,19 @@
 
 namespace kex {
 
+// The elastic re-dress hook: algorithms that natively track parked
+// governor holders (the fast/graceful compositions).  Anything abortable
+// gets a generic fallback in any_kex — a detain is, by construction, an
+// ordinary cancellable acquire that never releases until restored.
+template <class A, class P>
+concept DetainableKexFor = requires(A a, typename P::proc& p,
+                                    cancel_token& tk) {
+  { a.detain_slot(p, tk) } -> std::convertible_to<bool>;
+  a.restore_slot(p);
+  { a.detained() } -> std::convertible_to<int>;
+  { a.effective_k() } -> std::convertible_to<int>;
+};
+
 template <Platform P>
 class any_kex {
   struct iface {
@@ -32,6 +46,9 @@ class any_kex {
     virtual void release(typename P::proc&) = 0;
     virtual bool acquire_cancellable(typename P::proc&, cancel_token&) = 0;
     virtual bool abortable() const = 0;
+    virtual bool detain_slot(typename P::proc&, cancel_token&) = 0;
+    virtual void restore_slot(typename P::proc&) = 0;
+    virtual int detained() const = 0;
     virtual int n() const = 0;
     virtual int k() const = 0;
   };
@@ -39,6 +56,10 @@ class any_kex {
   template <class A>
   struct model final : iface {
     A alg;
+    // Fallback detain bookkeeping for abortable algorithms without the
+    // native hook; unused otherwise.
+    // kex-lint: allow(raw-atomic): re-dress bookkeeping, not protocol state
+    std::atomic<int> generic_detained_{0};
     template <class... Args>
     explicit model(Args&&... args) : alg(std::forward<Args>(args)...) {}
     void acquire(typename P::proc& p) override { alg.acquire(p); }
@@ -56,6 +77,39 @@ class any_kex {
       }
     }
     bool abortable() const override { return AbortableKexFor<A, P>; }
+    bool detain_slot(typename P::proc& p, cancel_token& tk) override {
+      if constexpr (DetainableKexFor<A, P>) {
+        return alg.detain_slot(p, tk);
+      } else if constexpr (AbortableKexFor<A, P>) {
+        if (!alg.acquire_cancellable(p, tk)) return false;
+        generic_detained_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      } else {
+        (void)p;
+        (void)tk;
+        KEX_CHECK_MSG(false,
+                      "detain_slot: algorithm is neither detainable nor "
+                      "abortable (check abortable() first)");
+      }
+    }
+    void restore_slot(typename P::proc& p) override {
+      if constexpr (DetainableKexFor<A, P>) {
+        alg.restore_slot(p);
+      } else {
+        KEX_CHECK_MSG(
+            generic_detained_.load(std::memory_order_relaxed) > 0,
+            "restore_slot without a matching detain_slot");
+        generic_detained_.fetch_sub(1, std::memory_order_relaxed);
+        alg.release(p);
+      }
+    }
+    int detained() const override {
+      if constexpr (DetainableKexFor<A, P>) {
+        return alg.detained();
+      } else {
+        return generic_detained_.load(std::memory_order_relaxed);
+      }
+    }
     int n() const override { return alg.n(); }
     int k() const override { return alg.k(); }
   };
@@ -110,6 +164,19 @@ class any_kex {
     return impl_->acquire_cancellable(p, tk);
   }
 
+  // --- elastic re-dress surface ------------------------------------------
+  // Park `p` inside the object as a long-lived holder, lowering the
+  // capacity ordinary acquirers compete for by one (effective_k()).
+  // Native on the fast/graceful compositions; any other abortable
+  // algorithm falls back to a plain cancellable acquire that the wrapper
+  // remembers.  Requires abortable(); restore with the same proc.
+  bool detain_slot(typename P::proc& p, cancel_token& tk) {
+    return impl_->detain_slot(p, tk);
+  }
+  void restore_slot(typename P::proc& p) { impl_->restore_slot(p); }
+  int detained() const { return impl_->detained(); }
+  int effective_k() const { return impl_->k() - impl_->detained(); }
+
  private:
   std::unique_ptr<iface> impl_;
 };
@@ -138,26 +205,38 @@ inline const std::vector<std::string>& kex_catalog() {
 // Build an (n,k)-exclusion by catalog name.  Throws invariant_violation
 // for unknown names or shape constraints the algorithm rejects (e.g. the
 // k=1-only locks).
+//
+// `pid_space` widens the per-process state arrays beyond n without
+// changing the protocol's shape (tree depth, stage count, RMR bounds are
+// functions of n and k alone) — the elastic lock table uses it to give
+// each shard governor pids above the client pid space.  Only the paper's
+// algorithms take it; the Table-1 baselines reject a widened space.
 template <Platform P>
-any_kex<P> make_kex(std::string_view name, int n, int k) {
+any_kex<P> make_kex(std::string_view name, int n, int k,
+                    int pid_space = -1) {
   if (name == "cc_inductive")
-    return any_kex<P>::template make<cc_inductive<P>>(n, k);
-  if (name == "cc_tree") return any_kex<P>::template make<cc_tree<P>>(n, k);
-  if (name == "cc_fast") return any_kex<P>::template make<cc_fast<P>>(n, k);
+    return any_kex<P>::template make<cc_inductive<P>>(n, k, pid_space);
+  if (name == "cc_tree")
+    return any_kex<P>::template make<cc_tree<P>>(n, k, pid_space);
+  if (name == "cc_fast")
+    return any_kex<P>::template make<cc_fast<P>>(n, k, pid_space);
   if (name == "cc_graceful")
-    return any_kex<P>::template make<cc_graceful<P>>(n, k);
+    return any_kex<P>::template make<cc_graceful<P>>(n, k, pid_space);
   if (name == "hybrid")
-    return any_kex<P>::template make<hybrid_kex<P>>(n, k);
+    return any_kex<P>::template make<hybrid_kex<P>>(n, k, pid_space);
   if (name == "dsm_bounded")
-    return any_kex<P>::template make<dsm_bounded<P>>(n, k);
+    return any_kex<P>::template make<dsm_bounded<P>>(n, k, pid_space);
   if (name == "dsm_unbounded")
-    return any_kex<P>::template make<dsm_unbounded<P>>(n, k);
+    return any_kex<P>::template make<dsm_unbounded<P>>(n, k, pid_space);
   if (name == "dsm_tree")
-    return any_kex<P>::template make<dsm_tree<P>>(n, k);
+    return any_kex<P>::template make<dsm_tree<P>>(n, k, pid_space);
   if (name == "dsm_fast")
-    return any_kex<P>::template make<dsm_fast<P>>(n, k);
+    return any_kex<P>::template make<dsm_fast<P>>(n, k, pid_space);
   if (name == "dsm_graceful")
-    return any_kex<P>::template make<dsm_graceful<P>>(n, k);
+    return any_kex<P>::template make<dsm_graceful<P>>(n, k, pid_space);
+  KEX_CHECK_MSG(pid_space < 0, "make_kex: algorithm '" << std::string(name)
+                                   << "' does not support a widened pid "
+                                      "space");
   if (name == "ticket")
     return any_kex<P>::template make<baselines::ticket_kex<P>>(n, k);
   if (name == "atomic_queue")

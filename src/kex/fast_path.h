@@ -141,6 +141,39 @@ class fast_path_kex {
   Slow& slow_path() { return slow_; }
   Block& block() { return block_; }
 
+  // --- elastic re-dress hook (service/elastic_lock_table.h) ---------------
+  // Detaining a slot parks a caller-supplied governor process inside the
+  // object as a long-lived holder, re-dressing the (N,k) composition as an
+  // (N,k-1) one: the nested Figure-4 reading of Theorems 4/8 where a
+  // holder that never leaves its critical section is indistinguishable
+  // from a lowered k (the same budget line crashed holders draw on).  The
+  // governor pays one ordinary entry at the epoch boundary where the
+  // controller steps k; steady-state acquires run the unmodified protocol,
+  // so adaptation costs zero RMRs per acquire.  The token bounds the
+  // governor's patience — on a saturated object the detain fails cleanly
+  // and the caller retries at a later epoch.
+  bool detain_slot(proc& p, cancel_token& tk)
+    requires AbortableKexFor<Block, P> && AbortableKexFor<Slow, P>
+  {
+    if (!acquire_cancellable(p, tk)) return false;
+    detained_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Undo one detain_slot, using the same governor proc that holds it.
+  void restore_slot(proc& p) {
+    KEX_CHECK_MSG(detained_.load(std::memory_order_relaxed) > 0,
+                  "restore_slot without a matching detain_slot");
+    detained_.fetch_sub(1, std::memory_order_relaxed);
+    release(p);
+  }
+
+  int detained() const {
+    return detained_.load(std::memory_order_relaxed);
+  }
+  // Capacity visible to ordinary acquirers: k minus the parked governors.
+  int effective_k() const { return k_ - detained(); }
+
   // Introspection: how many acquisitions took each path.  Diagnostics
   // outside the cost model, kept per process — a shared fetch_add here
   // would ping-pong a cache line on every fast-path acquisition, the
@@ -185,6 +218,10 @@ class fast_path_kex {
   Block block_;
   Slow slow_;
   arena_vector<per_proc> procs_;  // one aligned line per pid
+  // kex-lint: allow(raw-atomic): re-dress bookkeeping (parked governor
+  // count), not protocol state — the slots themselves are held via the
+  // ordinary acquire path
+  std::atomic<int> detained_{0};
 };
 
 // Theorem 4/8: nested fast paths with graceful degradation.
@@ -297,6 +334,30 @@ class graceful_kex {
   int k() const { return k_; }
   int stage_count() const { return static_cast<int>(stages_.size()); }
 
+  // Elastic re-dress hook — see fast_path_kex::detain_slot.  On the
+  // nested chain a detained governor occupies a stage slot (or the final
+  // block) exactly like a slow client, so every stage's ⌈c/k⌉ accounting
+  // already prices it in.
+  bool detain_slot(proc& p, cancel_token& tk)
+    requires AbortableKexFor<Block, P>
+  {
+    if (!acquire_cancellable(p, tk)) return false;
+    detained_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void restore_slot(proc& p) {
+    KEX_CHECK_MSG(detained_.load(std::memory_order_relaxed) > 0,
+                  "restore_slot without a matching detain_slot");
+    detained_.fetch_sub(1, std::memory_order_relaxed);
+    release(p);
+  }
+
+  int detained() const {
+    return detained_.load(std::memory_order_relaxed);
+  }
+  int effective_k() const { return k_ - detained(); }
+
  private:
   struct stage {
     padded<var<int>> x;  // saturating slot counter, range 0..k
@@ -311,6 +372,9 @@ class graceful_kex {
   arena_vector<stage> stages_;
   std::optional<Block> final_block_;
   std::vector<padded<int>> depth_;  // private: stage reached per process
+  // kex-lint: allow(raw-atomic): re-dress bookkeeping (parked governor
+  // count), not protocol state
+  std::atomic<int> detained_{0};
 };
 
 }  // namespace kex

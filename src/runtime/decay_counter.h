@@ -1,0 +1,120 @@
+// Windowed decay counters: the controller's memory of recent load.
+//
+// The elastic lock table adapts on *recent* behaviour — a shard that was
+// hot five minutes ago but is cold now should shed its extra capacity.
+// Plain lifetime counters cannot express that, and keeping a ring of
+// timestamped samples per shard would put allocation and clock reads near
+// the hot path.  An exponentially-decayed window does the job in O(1)
+// space: each `observe()` folds a new sample in with weight `alpha`, so a
+// sample's influence halves every ~ln(2)/alpha observations.
+//
+// Everything here is host-side controller state: no platform variables,
+// no shared-memory traffic, no RMR cost.  Counters are owned by the
+// maintenance path (one writer); readers of `value()` are monitoring
+// only.  That single-writer discipline is what keeps adaptation off the
+// acquire path entirely — workers bump the ordinary shard stats they
+// already bump, and the controller distills them between epochs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace kex {
+
+// EWMA over explicitly-observed samples.  `alpha` in (0, 1]: the weight
+// of the newest sample (1.0 = no memory, just the last sample).
+class decay_window {
+ public:
+  explicit decay_window(double alpha = 0.5) : alpha_(alpha) {
+    KEX_CHECK_MSG(alpha > 0.0 && alpha <= 1.0,
+                  "decay_window: alpha must be in (0, 1]");
+  }
+
+  void observe(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+      return;
+    }
+    value_ += alpha_ * (sample - value_);
+  }
+
+  // Decayed estimate; `fallback` until the first observation.
+  double value(double fallback = 0.0) const {
+    return seeded_ ? value_ : fallback;
+  }
+  bool seeded() const { return seeded_; }
+
+  void reset() {
+    seeded_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+// Decayed *rate* derived from a monotone counter: feed it the counter's
+// absolute value each tick, read the decayed per-tick delta.  Handles the
+// first tick (no delta yet) and counter resets (clamped to 0 rather than
+// a huge negative spike).
+class decay_rate {
+ public:
+  explicit decay_rate(double alpha = 0.5) : window_(alpha) {}
+
+  void tick(std::uint64_t counter_now) {
+    if (primed_) {
+      const double delta =
+          counter_now >= last_
+              ? static_cast<double>(counter_now - last_)
+              : 0.0;
+      window_.observe(delta);
+    }
+    last_ = counter_now;
+    primed_ = true;
+  }
+
+  double per_tick(double fallback = 0.0) const {
+    return window_.value(fallback);
+  }
+
+  void reset() {
+    window_.reset();
+    primed_ = false;
+    last_ = 0;
+  }
+
+ private:
+  decay_window window_;
+  std::uint64_t last_ = 0;
+  bool primed_ = false;
+};
+
+// Decayed high-water mark: tracks a maximum that relaxes toward the
+// recently observed values instead of sticking at its lifetime peak.  A
+// one-off occupancy spike stops arguing for extra capacity after a few
+// quiet windows.
+class decay_high_water {
+ public:
+  explicit decay_high_water(double alpha = 0.5) : window_(alpha) {}
+
+  void observe(double sample) { window_.observe(sample); }
+
+  // Jump up instantly, decay down through the window.
+  void observe_max(double sample) {
+    window_.observe(std::max(sample, window_.value(sample)));
+  }
+
+  double value(double fallback = 0.0) const {
+    return window_.value(fallback);
+  }
+
+ private:
+  decay_window window_;
+};
+
+}  // namespace kex

@@ -1,0 +1,97 @@
+// Multi-writer seqlock for statistics blocks.
+//
+// The lock table's per-shard counters are each individually atomic, but a
+// stats() reader walking them one by one can tear *across* counters: it
+// may observe `occupancy` incremented but `max_occupancy` not yet raised,
+// or `acquires` bumped without the matching `fast_hits` — snapshots that
+// violate invariants (fast_hits <= acquires, occupancy <= max_occupancy)
+// no single moment of execution ever exhibits.  This header fixes that
+// with a seqlock adapted to *many concurrent writers*:
+//
+//   writer:  writers++            (announce: stores below are in flight)
+//            ... counter updates ...
+//            version++            (publish: a complete update happened)
+//            writers--            (retire, after the version bump)
+//
+//   reader:  v0 = version
+//            ... load counters ...
+//            accept iff writers == 0 and version == v0, else retry
+//
+// Why this accepts no torn snapshot: every operation is seq_cst, so there
+// is one total order over them.  If a reader's load saw some writer W's
+// store, W's announce precedes that load; for the reader's `writers == 0`
+// check to pass, W's retire — and therefore W's version bump, which
+// precedes it — must also have landed.  Either the bump predates v0 (then
+// *all* of W's stores do too, and the snapshot contains W completely) or
+// it lands between v0 and the final check and the reader retries.  The
+// classic single-writer odd/even trick is NOT sound here: two overlapping
+// writers each doing +1-enter/+1-exit can leave the counter even mid-
+// update.
+//
+// The writer window must contain only host-side straight-line updates —
+// no platform var<T> accesses (a stepped-sim park inside the window would
+// stall readers for the length of the schedule) and nothing that throws
+// (the RAII scope still unwinds, but a half-applied update would be
+// published as complete).  Every use in the service layer keeps windows
+// to a handful of fetch_adds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "common/pause.h"
+
+namespace kex {
+
+class stat_seqlock {
+ public:
+  // RAII writer window.  Cheap enough for hot paths: two RMWs on entry
+  // and exit around updates that are themselves RMWs — and host-side
+  // only, so the simulated RMR meters never see it.
+  class writer_scope {
+   public:
+    explicit writer_scope(stat_seqlock& s) : s_(&s) {
+      s_->writers_.fetch_add(1);
+    }
+    writer_scope(const writer_scope&) = delete;
+    writer_scope& operator=(const writer_scope&) = delete;
+    ~writer_scope() {
+      s_->version_.fetch_add(1);
+      s_->writers_.fetch_sub(1);
+    }
+
+   private:
+    stat_seqlock* s_;
+  };
+
+  // Run `snap()` until it executes entirely outside every writer window;
+  // returns its result.  Wait-free writers mean a reader can in principle
+  // retry indefinitely under a continuous stampede, but each retry only
+  // requires one instant with no writer mid-window — windows are a few
+  // instructions, so in practice a handful of spins.
+  template <class Snap>
+  auto read(Snap&& snap) const {
+    for (;;) {
+      const std::uint64_t v0 = version_.load();
+      if (writers_.load() != 0) {
+        cpu_relax();
+        continue;
+      }
+      auto out = snap();
+      if (writers_.load() == 0 && version_.load() == v0) return out;
+      cpu_relax();
+    }
+  }
+
+  // Completed writer windows so far (diagnostics).
+  std::uint64_t version() const { return version_.load(); }
+
+ private:
+  // kex-lint: allow-block(raw-atomic): seqlock control words for host-side
+  // stats snapshots — monitoring fabric, not protocol state
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<int> writers_{0};
+};
+
+}  // namespace kex

@@ -41,6 +41,7 @@
 #include "kex/any_kex.h"
 #include "kex/arena_layout.h"
 #include "platform/topology.h"
+#include "runtime/stat_seqlock.h"
 #include "service/session_registry.h"
 
 namespace kex {
@@ -107,6 +108,10 @@ class lock_table {
   struct alignas(cacheline_size) shard {
     any_kex<P> kex;
     int home_node = 0;
+    // Counter updates that belong together (occupancy + high-water +
+    // acquires + fast_hits) run inside a stats_lock writer window, so
+    // stats() never returns a snapshot torn across them.
+    stat_seqlock stats_lock;
     // kex-lint: allow-block(raw-atomic): per-shard stats counters, not
     // protocol state — reads are monitoring-only
     std::atomic<std::uint64_t> acquires{0};
@@ -170,15 +175,21 @@ class lock_table {
     void release() {
       if (s_ == nullptr) return;
       auto* s = std::exchange(s_, nullptr);
-      // Occupancy drops before the exit section begins, so sampled
-      // occupancy never transiently exceeds the k holders actually in
-      // their critical sections.
-      s->occupancy.fetch_sub(1, std::memory_order_relaxed);
+      {
+        // Occupancy drops before the exit section begins, so sampled
+        // occupancy never transiently exceeds the k holders actually in
+        // their critical sections.  The window must close before
+        // kex.release — a platform access inside a writer window would
+        // stall stepped-sim readers for the length of the schedule.
+        stat_seqlock::writer_scope w(s->stats_lock);
+        s->occupancy.fetch_sub(1, std::memory_order_relaxed);
+      }
       try {
         s->kex.release(*p_);
       } catch (const process_failed&) {
         // The crashed holder keeps its slot forever (the model); put it
         // back in the occupancy count and remember the burn.
+        stat_seqlock::writer_scope w(s->stats_lock);
         s->occupancy.fetch_add(1, std::memory_order_relaxed);
         s->crashes.fetch_add(1, std::memory_order_relaxed);
       }
@@ -268,31 +279,36 @@ class lock_table {
     return lock_table_shard_of(lock_table_hash(key), shards());
   }
 
+  // Per-shard rows are seqlock-consistent: each row is retried until it
+  // reads entirely outside every writer window, so within one row the
+  // invariants hold (fast_hits <= acquires, occupancy <= max_occupancy
+  // <= k).  Rows of *different* shards are still sampled at different
+  // instants — they are independent objects.
   lock_table_stats stats() const {
     lock_table_stats out;
     out.shards.reserve(shards_.size());
     for (const auto& s : shards_) {
-      lock_shard_stats row;
-      row.acquires = s.acquires.load(std::memory_order_relaxed);
-      row.fast_hits = s.fast_hits.load(std::memory_order_relaxed);
-      row.crashes = s.crashes.load(std::memory_order_relaxed);
-      row.aborts = s.aborts.load(std::memory_order_relaxed);
-      row.timeouts = s.timeouts.load(std::memory_order_relaxed);
-      row.max_occupancy = s.max_occupancy.load(std::memory_order_relaxed);
-      row.occupancy = s.occupancy.load(std::memory_order_relaxed);
-      row.home_node = s.home_node;
-      out.shards.push_back(row);
+      out.shards.push_back(s.stats_lock.read([&] {
+        lock_shard_stats row;
+        row.acquires = s.acquires.load(std::memory_order_relaxed);
+        row.fast_hits = s.fast_hits.load(std::memory_order_relaxed);
+        row.crashes = s.crashes.load(std::memory_order_relaxed);
+        row.aborts = s.aborts.load(std::memory_order_relaxed);
+        row.timeouts = s.timeouts.load(std::memory_order_relaxed);
+        row.max_occupancy = s.max_occupancy.load(std::memory_order_relaxed);
+        row.occupancy = s.occupancy.load(std::memory_order_relaxed);
+        row.home_node = s.home_node;
+        return row;
+      }));
     }
     return out;
   }
 
  private:
-  guard acquire_shard(proc& p, int idx) {
-    auto& s = shards_[static_cast<std::size_t>(idx)];
-    s.kex.acquire(p);
-    // Everything below is host-side bookkeeping — by the time it runs the
-    // caller is inside the critical section, and a sim-injected crash
-    // will surface at its next *shared* access, not here.
+  // Post-admission bookkeeping, inside one seqlock writer window so a
+  // concurrent stats() never sees these counters half-applied.
+  static void note_admitted(shard& s) {
+    stat_seqlock::writer_scope w(s.stats_lock);
     int now = s.occupancy.fetch_add(1, std::memory_order_relaxed) + 1;
     int peak = s.max_occupancy.load(std::memory_order_relaxed);
     while (now > peak && !s.max_occupancy.compare_exchange_weak(
@@ -300,6 +316,15 @@ class lock_table {
     }
     s.acquires.fetch_add(1, std::memory_order_relaxed);
     if (now == 1) s.fast_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  guard acquire_shard(proc& p, int idx) {
+    auto& s = shards_[static_cast<std::size_t>(idx)];
+    s.kex.acquire(p);
+    // Everything below is host-side bookkeeping — by the time it runs the
+    // caller is inside the critical section, and a sim-injected crash
+    // will surface at its next *shared* access, not here.
+    note_admitted(s);
     return guard(&s, &p);
   }
 
@@ -311,16 +336,11 @@ class lock_table {
       // covers try_acquire's pre-fired token) as a timeout.
       auto& ctr = tk.reason() == cancel_reason::cancelled ? s.aborts
                                                           : s.timeouts;
+      stat_seqlock::writer_scope w(s.stats_lock);
       ctr.fetch_add(1, std::memory_order_relaxed);
       return guard();
     }
-    int now = s.occupancy.fetch_add(1, std::memory_order_relaxed) + 1;
-    int peak = s.max_occupancy.load(std::memory_order_relaxed);
-    while (now > peak && !s.max_occupancy.compare_exchange_weak(
-                             peak, now, std::memory_order_relaxed)) {
-    }
-    s.acquires.fetch_add(1, std::memory_order_relaxed);
-    if (now == 1) s.fast_hits.fetch_add(1, std::memory_order_relaxed);
+    note_admitted(s);
     return guard(&s, &p);
   }
 

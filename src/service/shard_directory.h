@@ -1,0 +1,176 @@
+// Versioned rendezvous (HRW) shard directory: key placement that survives
+// online resharding with minimal key movement.
+//
+// The static lock table routes hash(key) % S, which reshuffles nearly
+// every key when S changes.  Rendezvous hashing instead scores every
+// active slot against the key — score(h, slot) = mix(h ^ seed(slot)) —
+// and routes to the argmax.  Activating a new slot moves exactly the keys
+// whose new slot wins the argmax (≈ |keys|/(S+1), each coming from
+// whichever slot held it); deactivating a slot moves exactly the keys it
+// owned (≈ |keys|/S).  Every other key's winner is untouched, which is
+// the "minimal key range" the elastic table's handover drains.
+//
+// Slot seeds are pure functions of (table seed, slot index) — two
+// processes that agree on the construction parameters agree on every
+// placement forever, with no coordination (the property the determinism
+// test pins).
+//
+// The directory itself is routing metadata, not protocol state: the
+// active set is one 64-bit bitmap read with a single host load on every
+// acquire, and the epoch handover in elastic_lock_table closes the
+// publish/route races, so directory reads are never spun on and cost
+// zero remote references in the paper's model.  Capacity is bounded at
+// 64 slots so the committed and pending sets each fit one atomically
+// readable word — the same bounded-name-space framing as Chlebus &
+// Kowalski's exclusive selection, where resources enter and leave a
+// fixed slot universe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace kex {
+
+inline constexpr int shard_directory_max_slots = 64;
+
+// splitmix64 finalizer: the same mixer lock_table_hash uses, duplicated
+// here as a constexpr so seeds and scores are compile-time computable.
+constexpr std::uint64_t shard_dir_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Fixed per-slot seed: a function of nothing but the table seed and the
+// slot index, so placement is reproducible across processes and runs.
+constexpr std::uint64_t shard_dir_slot_seed(std::uint64_t table_seed,
+                                            int slot) {
+  return shard_dir_mix(table_seed ^
+                       shard_dir_mix(static_cast<std::uint64_t>(slot) + 1));
+}
+
+// Highest-random-weight placement of `key_hash` over the set bits of
+// `active`.  Ties (astronomically unlikely) break toward the lower slot
+// index so the winner is still a pure function of the inputs.
+inline int hrw_place(std::uint64_t key_hash, std::uint64_t active,
+                     std::uint64_t table_seed) {
+  KEX_CHECK_MSG(active != 0, "hrw_place: empty active set");
+  int best = -1;
+  std::uint64_t best_score = 0;
+  std::uint64_t bits = active;
+  while (bits != 0) {
+    const int slot = __builtin_ctzll(bits);
+    bits &= bits - 1;
+    const std::uint64_t score =
+        shard_dir_mix(key_hash ^ shard_dir_slot_seed(table_seed, slot));
+    if (best < 0 || score > best_score) {
+      best = slot;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+// A consistent view of the directory for one routing decision.
+struct shard_route {
+  int slot = 0;          // where the key lives under this view
+  bool pending = false;  // a resize is in flight
+  int pending_slot = 0;  // where the key lives once it commits
+};
+
+class shard_directory {
+ public:
+  shard_directory(int initial_slots, std::uint64_t table_seed)
+      : seed_(table_seed) {
+    KEX_CHECK_MSG(
+        initial_slots >= 1 && initial_slots <= shard_directory_max_slots,
+        "shard_directory: initial slot count out of range");
+    committed_.store(initial_slots == shard_directory_max_slots
+                         ? ~0ull
+                         : (1ull << initial_slots) - 1);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t committed() const { return committed_.load(); }
+  std::uint64_t pending() const { return pending_.load(); }
+  std::uint64_t epoch() const { return epoch_.load(); }
+  int active_count() const {
+    return __builtin_popcountll(committed_.load());
+  }
+
+  // Route a key hash.  During a resize new acquires already route by the
+  // pending (new-epoch) set — old holders finish under the shard they
+  // stamped; see elastic_lock_table's handover protocol.
+  shard_route route(std::uint64_t key_hash) const {
+    shard_route r;
+    const std::uint64_t pn = pending_.load();
+    const std::uint64_t c = committed_.load();
+    if (pn != 0) {
+      r.pending = true;
+      r.pending_slot = hrw_place(key_hash, pn, seed_);
+      r.slot = r.pending_slot;
+    } else {
+      r.slot = hrw_place(key_hash, c, seed_);
+    }
+    return r;
+  }
+
+  // Placement under the committed set only (tests, stats attribution).
+  int place_committed(std::uint64_t key_hash) const {
+    return hrw_place(key_hash, committed_.load(), seed_);
+  }
+
+  // --- resize planning (maintenance path, single publisher) ---------------
+
+  // The committed set plus its lowest inactive slot; 0 if full.
+  std::uint64_t with_split() const {
+    const std::uint64_t c = committed_.load();
+    if (c == ~0ull) return 0;
+    const std::uint64_t grown = c | (c + 1);  // set lowest clear bit
+    return grown;
+  }
+
+  // The committed set minus `slot`; 0 if that would empty the directory
+  // or the slot is not active.
+  std::uint64_t with_merge(int slot) const {
+    const std::uint64_t c = committed_.load();
+    const std::uint64_t bit = 1ull << slot;
+    if ((c & bit) == 0 || c == bit) return 0;
+    return c & ~bit;
+  }
+
+  // Publish `target` as the pending set.  Returns false if a resize is
+  // already in flight (one handover at a time — the parity-stamped drain
+  // in elastic_lock_table needs full commits between publishes).
+  bool begin_resize(std::uint64_t target) {
+    KEX_CHECK_MSG(target != 0, "begin_resize: empty target set");
+    std::uint64_t expected = 0;
+    return pending_.compare_exchange_strong(expected, target);
+  }
+
+  // Commit the in-flight resize: the pending set becomes committed and
+  // the epoch advances.  Called exactly once per begin_resize, by
+  // whichever release drained the last old-parity holder (or by the
+  // publisher when the sources were already empty).
+  void commit_resize() {
+    const std::uint64_t pn = pending_.load();
+    KEX_CHECK_MSG(pn != 0, "commit_resize: no resize in flight");
+    committed_.store(pn);
+    pending_.store(0);
+    epoch_.fetch_add(1);
+  }
+
+ private:
+  const std::uint64_t seed_;
+  // kex-lint: allow-block(raw-atomic): routing metadata read (never spun
+  // on) by acquirers — a single-word active set, not protocol state; the
+  // per-shard parity drain closes every publish/route race
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace kex

@@ -14,6 +14,7 @@
 
 #include "platform/stepper.h"
 #include "runtime/process_group.h"
+#include "runtime/workload.h"
 #include "service/lock_table.h"
 #include "service/session_registry.h"
 
@@ -328,6 +329,54 @@ TEST(LockTableStepper, SameShardMutualExclusionUnderAllPrefixes) {
             << "deadlock under schedule " << out.schedule;
       });
   EXPECT_FALSE(violation.load());
+}
+
+// Stats snapshots must never tear: while workers hammer acquire/release,
+// a sampler loops stats() and asserts the per-shard row invariants that
+// only hold when occupancy, high-water and the counters were read from
+// one consistent instant (the seqlock window).  Run under TSan this also
+// pins the snapshot path data-race-free.
+TEST(LockTableStats, SnapshotsAreConsistentUnderHammer) {
+  constexpr int kWorkers = 4;
+  constexpr int kIters = 2000;
+  constexpr int kK = 2;
+  lock_table<real> table(2, "cc_fast", kWorkers, kK);
+  process_set<real> procs(kWorkers, cost_model::none);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> samples{0};
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto st = table.stats();
+      for (const auto& row : st.shards) {
+        ASSERT_LE(row.fast_hits, row.acquires);
+        ASSERT_GE(row.occupancy, 0);
+        ASSERT_LE(row.occupancy, kK);
+        ASSERT_LE(row.occupancy, std::max(row.max_occupancy,
+                                          row.occupancy));
+        ASSERT_LE(row.max_occupancy, kK);
+      }
+      samples.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  auto result = run_workers<real>(
+      procs, all_pids(kWorkers), [&](real::proc& p) {
+        xorshift rng(static_cast<std::uint32_t>(p.id) * 7919u + 3u);
+        for (int i = 0; i < kIters; ++i) {
+          auto g = table.acquire(p, static_cast<std::uint64_t>(
+                                        rng.next_below(16)));
+          g.release();
+        }
+      });
+  done.store(true, std::memory_order_release);
+  sampler.join();
+
+  EXPECT_EQ(result.completed, kWorkers);
+  EXPECT_GT(samples.load(), 0u);
+  const auto st = table.stats();
+  EXPECT_EQ(st.total_acquires(),
+            static_cast<std::uint64_t>(kWorkers) * kIters);
 }
 
 }  // namespace

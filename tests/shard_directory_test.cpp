@@ -1,0 +1,157 @@
+// Rendezvous shard directory: placement determinism, minimal movement
+// under split/merge, and the one-resize-at-a-time epoch machinery.
+#include "service/shard_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "service/lock_table.h"
+
+namespace kex {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5eedf00dcafef00dull;
+constexpr int kKeys = 4096;
+
+std::vector<std::uint64_t> sample_hashes() {
+  std::vector<std::uint64_t> out;
+  out.reserve(kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key)
+    out.push_back(lock_table_hash(key));
+  return out;
+}
+
+TEST(ShardDirectory, PlacementIsDeterministicAcrossInstances) {
+  // Two directories built from the same (slots, seed) — as two processes
+  // would build them independently — agree on every placement, and both
+  // agree with the pure free-function computation.
+  shard_directory a(8, kSeed);
+  shard_directory b(8, kSeed);
+  for (std::uint64_t h : sample_hashes()) {
+    const int slot = a.route(h).slot;
+    EXPECT_EQ(slot, b.route(h).slot);
+    EXPECT_EQ(slot, hrw_place(h, a.committed(), kSeed));
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 8);
+  }
+}
+
+TEST(ShardDirectory, SeedChangesPlacement) {
+  shard_directory a(8, kSeed);
+  shard_directory b(8, kSeed + 1);
+  int moved = 0;
+  for (std::uint64_t h : sample_hashes())
+    moved += a.route(h).slot != b.route(h).slot;
+  // Different seeds are different placements (statistically ~7/8 differ).
+  EXPECT_GT(moved, kKeys / 2);
+}
+
+TEST(ShardDirectory, SplitMovesOnlyToTheNewSlotAndMinimally) {
+  for (int s = 1; s <= 12; ++s) {
+    SCOPED_TRACE(::testing::Message() << "slots=" << s);
+    shard_directory dir(s, kSeed);
+    const std::uint64_t grown = dir.with_split();
+    ASSERT_NE(grown, 0u);
+    const int new_slot = __builtin_ctzll(grown & ~dir.committed());
+
+    int moved = 0;
+    for (std::uint64_t h : sample_hashes()) {
+      const int before = hrw_place(h, dir.committed(), kSeed);
+      const int after = hrw_place(h, grown, kSeed);
+      if (before != after) {
+        // HRW: adding a slot can only move keys TO the new slot — every
+        // old slot's score for a key is unchanged.
+        EXPECT_EQ(after, new_slot);
+        ++moved;
+      }
+    }
+    // Minimal movement: expected |keys|/(s+1); the ceil(|keys|/s) bound
+    // is the "no worse than one old shard's share" contract.
+    EXPECT_LE(moved, (kKeys + s - 1) / s);
+    EXPECT_GT(moved, 0);
+  }
+}
+
+TEST(ShardDirectory, MergeMovesOnlyTheRetiredSlotsKeys) {
+  shard_directory dir(8, kSeed);
+  const int victim = 3;
+  const std::uint64_t shrunk = dir.with_merge(victim);
+  ASSERT_NE(shrunk, 0u);
+  int moved = 0;
+  for (std::uint64_t h : sample_hashes()) {
+    const int before = hrw_place(h, dir.committed(), kSeed);
+    const int after = hrw_place(h, shrunk, kSeed);
+    if (before != after) {
+      // Only the victim's keys move; everyone else's winner is intact.
+      EXPECT_EQ(before, victim);
+      ++moved;
+    } else {
+      EXPECT_NE(after, victim);
+    }
+  }
+  // The victim owned ≈ kKeys/8 keys and all of them moved.
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, 2 * kKeys / 8);
+}
+
+TEST(ShardDirectory, SplitActivatesLowestInactiveSlot) {
+  shard_directory dir(3, kSeed);  // committed = 0b111
+  EXPECT_EQ(dir.with_split(), 0b1111ull);
+  ASSERT_TRUE(dir.begin_resize(dir.with_split()));
+  dir.commit_resize();
+  EXPECT_EQ(dir.committed(), 0b1111ull);
+
+  // Retire slot 1, then split again: the hole is refilled first.
+  ASSERT_TRUE(dir.begin_resize(dir.with_merge(1)));
+  dir.commit_resize();
+  EXPECT_EQ(dir.committed(), 0b1101ull);
+  EXPECT_EQ(dir.with_split(), 0b1111ull);
+}
+
+TEST(ShardDirectory, MergeRejectsInactiveAndLastSlot) {
+  shard_directory dir(2, kSeed);  // slots {0,1}
+  EXPECT_EQ(dir.with_merge(5), 0u);  // not active
+  ASSERT_TRUE(dir.begin_resize(dir.with_merge(1)));
+  dir.commit_resize();
+  EXPECT_EQ(dir.with_merge(0), 0u);  // would empty the directory
+}
+
+TEST(ShardDirectory, OneResizeInFlightAndEpochAdvances) {
+  shard_directory dir(4, kSeed);
+  EXPECT_EQ(dir.epoch(), 0u);
+  const std::uint64_t target = dir.with_split();
+  ASSERT_TRUE(dir.begin_resize(target));
+  EXPECT_FALSE(dir.begin_resize(dir.committed() | (1ull << 9)));
+  EXPECT_EQ(dir.pending(), target);
+
+  // Routing already follows the pending set (route-new-immediately).
+  for (std::uint64_t h : sample_hashes()) {
+    const shard_route r = dir.route(h);
+    EXPECT_TRUE(r.pending);
+    EXPECT_EQ(r.slot, hrw_place(h, target, kSeed));
+    EXPECT_EQ(r.slot, r.pending_slot);
+  }
+
+  dir.commit_resize();
+  EXPECT_EQ(dir.committed(), target);
+  EXPECT_EQ(dir.pending(), 0u);
+  EXPECT_EQ(dir.epoch(), 1u);
+  EXPECT_EQ(dir.active_count(), 5);
+}
+
+TEST(ShardDirectory, AllKeysCoveredAtEverySize) {
+  // Every active slot actually owns keys once there are enough keys —
+  // HRW spreads, it does not strand slots.
+  for (int s : {2, 5, 16, 63}) {
+    shard_directory dir(s, kSeed);
+    std::set<int> owners;
+    for (std::uint64_t h : sample_hashes()) owners.insert(dir.route(h).slot);
+    EXPECT_EQ(static_cast<int>(owners.size()), s) << "slots=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace kex

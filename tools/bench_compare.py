@@ -32,6 +32,17 @@ Two tolerances, because the repo gates two kinds of numbers:
     --time-tolerance (default 0.35) — shared CI runners are noisy, and
     a regression that clears 35% is real on any machine.
 
+Records are organized into *families* — everything before the first '/'
+in the record name ("lock_table_churn/mode:elastic" belongs to family
+"lock_table_churn").  A family present only in the current run is new
+coverage: it is reported once, as context, and never compared — so a PR
+that introduces a whole new metric family (a new bench section) shows up
+in the log as one "new family" line instead of a wall of per-record
+noise, and cannot fail the gate until its rows are baselined.  A family
+that vanished wholesale is likewise reported once (a rename or a removed
+section), while a single record missing from a surviving family keeps
+its own note (that is usually an accident).
+
 Exit status: 0 when everything holds, 1 on any regression, 2 on usage
 or schema errors.  Records or metrics present only on one side are
 reported but never fail the gate (benches grow across PRs).
@@ -50,7 +61,10 @@ CONTEXT = ("iterations", "shards", "threads", "max_occupancy", "fast_hit",
            # "amortized_rmr_per_acquire" must still classify by their
            # "_rmr" suffix.
            "attempts", "acquires", "aborts", "timeouts", "retries",
-           "crashes")
+           "crashes",
+           # Elastic-table adaptation telemetry: how much the controller
+           # moved is workload narration, not a performance verdict.
+           "handover", "k_step", "epoch", "detained", "pairs")
 # Tail-latency percentiles are tracked but never gate: on shared runners a
 # single preemption inside one acquire lands in the tail, swinging p99/p999
 # an order of magnitude between back-to-back runs.  Only the median is
@@ -59,7 +73,7 @@ CONTEXT = ("iterations", "shards", "threads", "max_occupancy", "fast_hit",
 INFORMATIONAL = ("_p99", "_max_ns")
 LOWER_BETTER = ("_ns_per_op", "time", "_rmr", "imbalance", "remote",
                 "latency")
-HIGHER_BETTER = ("per_second", "_rate", "throughput")
+HIGHER_BETTER = ("per_second", "_rate", "throughput", "ratio")
 
 # Wall-clock quantities get --time-tolerance; everything else is
 # deterministic (simulated) and held to --tolerance.  Latency percentiles
@@ -92,6 +106,18 @@ def records_by_name(bench_obj):
     return out
 
 
+def family(name):
+    """Record-set key: the record name up to the first '/'."""
+    return name.split("/", 1)[0]
+
+
+def by_family(records):
+    fams = {}
+    for name in records:
+        fams.setdefault(family(name), set()).add(name)
+    return fams
+
+
 def load_baseline(path):
     with open(path) as f:
         data = json.load(f)
@@ -106,13 +132,26 @@ def load_baseline(path):
 def compare(bench, base_obj, cur_obj, tol, time_tol, report):
     base = records_by_name(base_obj)
     cur = records_by_name(cur_obj)
+    base_fams = by_family(base)
+    cur_fams = by_family(cur)
     regressions = 0
     compared = 0
 
+    # Whole families present on only one side are context, reported once.
+    for fam in sorted(set(base_fams) - set(cur_fams)):
+        report(f"  note: {bench}: family '{fam}' "
+               f"({len(base_fams[fam])} record(s)) missing from current "
+               "run (renamed or removed section?)")
+    for fam in sorted(set(cur_fams) - set(base_fams)):
+        report(f"  note: {bench}: new family '{fam}' "
+               f"({len(cur_fams[fam])} record(s)) — new context, not "
+               "compared until baselined")
+
     for name in base:
         if name not in cur:
-            report(f"  note: {bench}/{name}: record missing from current "
-                   "run (renamed or removed?)")
+            if family(name) in cur_fams:
+                report(f"  note: {bench}/{name}: record missing from "
+                       "current run (renamed or removed?)")
             continue
         for metric, bval in base[name].items():
             if metric not in cur[name]:
@@ -153,7 +192,8 @@ def compare(bench, base_obj, cur_obj, tol, time_tol, report):
                 regressions += 1
                 report(f"  REGRESSION: {bench}/{name}: {metric} "
                        f"{delta_txt} exceeds {allowed * 100:.0f}% tolerance")
-    new_records = sorted(set(cur) - set(base))
+    new_records = sorted(n for n in set(cur) - set(base)
+                         if family(n) in base_fams)
     if new_records:
         report(f"  note: {bench}: {len(new_records)} record(s) not in "
                "baseline (new coverage, not compared)")
